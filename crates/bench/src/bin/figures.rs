@@ -1,0 +1,86 @@
+//! Regenerate the paper's figures (and the extension experiments).
+//!
+//! ```text
+//! cargo run --release -p robustmap-bench --bin figures -- all
+//! cargo run --release -p robustmap-bench --bin figures -- fig1 fig7
+//! cargo run --release -p robustmap-bench --bin figures -- --rows 4194304 --grid 16 all
+//! ```
+//!
+//! Reports print to stdout; CSV/SVG artifacts land in `target/figures/`.
+
+use robustmap_bench::{run_figure, Harness, HarnessConfig, ALL_FIGURES};
+
+fn main() {
+    let mut config = HarnessConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rows" => {
+                config.rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rows needs a number"));
+            }
+            "--grid" => {
+                config.grid_exp = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--grid needs an exponent"));
+            }
+            "--out" => {
+                config.out_dir = args.next().unwrap_or_else(|| die("--out needs a path")).into();
+            }
+            "--threads" => {
+                config.measure.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--rows N] [--grid EXP] [--out DIR] [--threads N] \
+                     <all | {}>",
+                    ALL_FIGURES.join(" | ")
+                );
+                return;
+            }
+            name => wanted.push(name.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+    wanted.dedup();
+
+    eprintln!(
+        "building workload: {} rows, grid 2^-{}..1, artifacts in {}",
+        config.rows,
+        config.grid_exp,
+        config.out_dir.display()
+    );
+    let t0 = std::time::Instant::now();
+    let harness = Harness::new(config);
+    eprintln!("workload ready in {:.1?}\n", t0.elapsed());
+
+    for name in &wanted {
+        let t = std::time::Instant::now();
+        match run_figure(&harness, name) {
+            Some(out) => {
+                println!("================================================================");
+                println!("{}", out.report);
+                for f in &out.files {
+                    println!("  wrote {}", f.display());
+                }
+                eprintln!("[{name}] done in {:.1?}", t.elapsed());
+            }
+            None => eprintln!("unknown figure: {name} (see --help)"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

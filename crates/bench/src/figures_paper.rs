@@ -1,0 +1,362 @@
+//! Regeneration of the paper's figures (1-10).
+//!
+//! Every function measures the same plans over the same parameter space as
+//! its figure, prints the series / statistics the figure conveys, and
+//! writes CSV + SVG artifacts.  Paper-vs-measured landmark comparisons are
+//! recorded in `EXPERIMENTS.md`.
+
+use robustmap_core::analysis::symmetry::symmetry_of;
+use robustmap_core::render::{
+    absolute_scale, heatmap_svg, line_plot_svg, map1d_to_csv, map2d_to_csv, quotients_to_csv,
+    relative_scale, render_map1d_table, render_map2d_ansi, AsciiOptions,
+};
+use robustmap_core::report::{landmark_report, multi_optimal_report, relative_report};
+use robustmap_core::{build_map1d, Grid1D, Map1D, OptimalityTolerance, RelativeMap2D};
+use robustmap_core::map::Series;
+use robustmap_core::measure::Measurement;
+use robustmap_core::regions::RegionStats;
+use robustmap_systems::{single_predicate_plans, SinglePredPlanSet};
+
+use crate::harness::{FigureOutput, Harness};
+
+fn ansi_opts() -> AsciiOptions {
+    AsciiOptions { ansi: false, cell_width: 2 }
+}
+
+/// Figures 3 and 6: the color legends (written as standalone SVGs and
+/// printed as text).
+pub fn legends(h: &Harness) -> FigureOutput {
+    let mut report = String::new();
+    let mut files = Vec::new();
+    for (name, scale) in [("fig3_absolute_scale", absolute_scale()), ("fig6_relative_scale", relative_scale())] {
+        report.push_str(&format!("{}:\n", scale.title));
+        for b in scale.buckets() {
+            report.push_str(&format!("  {}  {}\n", b.color.hex(), b.label));
+        }
+        // A 1x6 strip as the legend artifact (one cell per bucket).
+        let values: Vec<f64> = scale.buckets().iter().map(|b| (b.lo + b.hi) / 2.0).collect();
+        let axis: Vec<f64> =
+            (1..=values.len()).map(|i| i as f64 / values.len() as f64).collect();
+        let svg = heatmap_svg(&values, &axis, &[1.0], &scale, name);
+        files.push(h.write_artifact(&format!("{name}.svg"), &svg));
+    }
+    FigureOutput { name: "legends".into(), report, files }
+}
+
+/// Figure 1: single-table single-predicate selection — table scan vs.
+/// traditional vs. improved index scan, absolute log-log.
+pub fn fig1(h: &Harness) -> FigureOutput {
+    let plans = single_predicate_plans(SinglePredPlanSet::Basic, &h.w);
+    let grid = Grid1D::pow2(h.config.grid_exp);
+    let map = build_map1d(&h.w, &plans, &grid, &h.config.measure);
+    let mut report = render_map1d_table(&map, "Figure 1: single-predicate selection (absolute seconds)");
+    report.push_str(&landmark_report(&map));
+    let scan = map.series_named("table scan").expect("plan exists").seconds();
+    let improved = map.series_named("improved index scan").expect("plan exists").seconds();
+    let last = scan.len() - 1;
+    report.push_str(&format!(
+        "improved / table scan at selectivity 1: {:.2}x (paper: ~2.5x)\n",
+        improved[last] / scan[last]
+    ));
+    let files = vec![
+        h.write_artifact("fig1.csv", &map1d_to_csv(&map)),
+        h.write_artifact("fig1.svg", &line_plot_svg(&map, "Figure 1: single-predicate selection", "seconds (log)")),
+    ];
+    FigureOutput { name: "fig1".into(), report, files }
+}
+
+/// Figure 2: advanced selection plans — relative performance, adding the
+/// covering rid-join plans.
+pub fn fig2(h: &Harness) -> FigureOutput {
+    let plans = single_predicate_plans(SinglePredPlanSet::WithIndexJoins, &h.w);
+    let grid = Grid1D::pow2(h.config.grid_exp);
+    let map = build_map1d(&h.w, &plans, &grid, &h.config.measure);
+    // Relative view: quotient vs. best plan at each point.
+    let rel = map.relative();
+    let rel_map = Map1D {
+        sels: map.sels.clone(),
+        result_rows: map.result_rows.clone(),
+        series: rel
+            .iter()
+            .map(|(plan, q)| Series {
+                plan: plan.clone(),
+                points: q.iter().map(|&v| Measurement { seconds: v, ..Default::default() }).collect(),
+            })
+            .collect(),
+    };
+    let mut report =
+        render_map1d_table(&rel_map, "Figure 2: advanced selection plans (factor vs. best plan)");
+    report.push_str(&landmark_report(&map));
+    let files = vec![
+        h.write_artifact("fig2.csv", &map1d_to_csv(&map)),
+        h.write_artifact("fig2_relative.csv", &map1d_to_csv(&rel_map)),
+        h.write_artifact(
+            "fig2.svg",
+            &line_plot_svg(&rel_map, "Figure 2: advanced selection plans", "factor vs best (log)"),
+        ),
+    ];
+    FigureOutput { name: "fig2".into(), report, files }
+}
+
+/// Figure 4: two-predicate single-index selection — absolute 2-D map of
+/// the plan that fetches on `a` and filters `b` afterwards.
+pub fn fig4(h: &Harness) -> FigureOutput {
+    let map = h.map_system_a();
+    let plan = map.plan_index("A2 idx(a) fetch").expect("System A plan");
+    let grid = map.seconds_grid(plan);
+    let (lo, hi) = map.seconds_range(plan);
+    let mut report = render_map2d_ansi(
+        &grid,
+        &map.sel_a,
+        &map.sel_b,
+        &absolute_scale(),
+        "Figure 4: two-predicate single-index selection (absolute seconds)",
+        &ansi_opts(),
+    );
+    report.push_str(&format!(
+        "execution time range: {:.3}s .. {:.1}s (paper: 4s .. 890s at 60M rows)\n",
+        lo, hi
+    ));
+    // The figure's point: one dimension dominates, the other has almost no
+    // effect.  Quantify with per-axis spreads.
+    let (na, nb) = map.dims();
+    let spread = |along_a: bool| -> f64 {
+        let mut worst: f64 = 1.0;
+        let (outer, inner) = if along_a { (nb, na) } else { (na, nb) };
+        for o in 0..outer {
+            let (mut mn, mut mx) = (f64::INFINITY, 0.0f64);
+            for i in 0..inner {
+                let v = if along_a { grid[i * nb + o] } else { grid[o * nb + i] };
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            worst = worst.max(mx / mn);
+        }
+        worst
+    };
+    report.push_str(&format!(
+        "max spread along sel_a: {:.1}x; along sel_b: {:.2}x — the fetched-then-filtered \
+         predicate has practically no effect, as in the paper\n",
+        spread(true),
+        spread(false)
+    ));
+    let files = vec![
+        h.write_artifact("fig4.csv", &map2d_to_csv(&map.single_plan(plan))),
+        h.write_artifact(
+            "fig4.svg",
+            &heatmap_svg(&grid, &map.sel_a, &map.sel_b, &absolute_scale(), "Figure 4: single-index plan, absolute seconds"),
+        ),
+    ];
+    FigureOutput { name: "fig4".into(), report, files }
+}
+
+/// Figure 5: two-index merge join — absolute 2-D map; symmetric in the two
+/// selectivities, unlike the hash join.
+pub fn fig5(h: &Harness) -> FigureOutput {
+    let map = h.map_system_a();
+    let merge = map.plan_index("A4 merge(a,b) intersect").expect("System A plan");
+    let hash = map.plan_index("A6 hash(a,b) intersect").expect("System A plan");
+    let grid = map.seconds_grid(merge);
+    let mut report = render_map2d_ansi(
+        &grid,
+        &map.sel_a,
+        &map.sel_b,
+        &absolute_scale(),
+        "Figure 5: two-index merge join (absolute seconds)",
+        &ansi_opts(),
+    );
+    let n = map.sel_a.len();
+    let sym_merge = symmetry_of(&grid, n);
+    let sym_hash = symmetry_of(&map.seconds_grid(hash), n);
+    report.push_str(&format!(
+        "merge join symmetry: max mirrored ratio {:.3}x (mean {:.3}x) — symmetric up to \
+         sub-second measurement flukes, as in the paper\n",
+        sym_merge.max_log_ratio.exp(),
+        sym_merge.mean_log_ratio.exp()
+    ));
+    report.push_str(&format!(
+        "hash join symmetry:  max mirrored ratio {:.3}x (mean {:.3}x) — {}\n",
+        sym_hash.max_log_ratio.exp(),
+        sym_hash.mean_log_ratio.exp(),
+        if sym_hash.max_log_ratio > 1.5 * sym_merge.max_log_ratio
+            || sym_hash.mean_log_ratio > 1.5 * sym_merge.mean_log_ratio
+        {
+            "asymmetric (build-side memory cliff + build/probe cost), as the paper (and GLS94) predicts"
+        } else {
+            "unexpectedly symmetric at this scale"
+        },
+    ));
+    let files = vec![
+        h.write_artifact("fig5.csv", &map2d_to_csv(&map.subset(&[merge, hash]))),
+        h.write_artifact(
+            "fig5.svg",
+            &heatmap_svg(&grid, &map.sel_a, &map.sel_b, &absolute_scale(), "Figure 5: two-index merge join, absolute seconds"),
+        ),
+    ];
+    FigureOutput { name: "fig5".into(), report, files }
+}
+
+/// Figure 7: the Figure 4 plan relative to the best of System A's seven
+/// plans.
+pub fn fig7(h: &Harness) -> FigureOutput {
+    let map = h.map_system_a();
+    let rel = RelativeMap2D::from_map(&map);
+    let plan = map.plan_index("A2 idx(a) fetch").expect("System A plan");
+    let quotients = rel.quotient_grid(plan).to_vec();
+    let mut report = render_map2d_ansi(
+        &quotients,
+        &rel.sel_a,
+        &rel.sel_b,
+        &relative_scale(),
+        "Figure 7: single-index plan vs. best of 7 plans (cost factor)",
+        &ansi_opts(),
+    );
+    report.push_str(&format!(
+        "worst quotient: {:.0}x (paper: ~101,000x at 60M rows; the quotient scales with table size)\n",
+        rel.worst_quotient(plan)
+    ));
+    let region = RegionStats::of(&rel.optimal_region(plan, OptimalityTolerance::Factor(1.2)));
+    report.push_str(&format!(
+        "optimality region (within 20% of best): {:.1}% of the space, {} component(s){}\n",
+        region.coverage * 100.0,
+        region.component_count,
+        if region.component_count > 1 {
+            " — non-contiguous, the irregularity the paper flags"
+        } else {
+            " — contiguous in our implementation (the paper attributes its discontiguity to an implementation idiosyncrasy)"
+        },
+    ));
+    report.push_str(&relative_report(&rel));
+    let files = vec![
+        h.write_artifact("fig7.csv", &quotients_to_csv(&rel)),
+        h.write_artifact(
+            "fig7.svg",
+            &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 7: single-index plan vs best of 7"),
+        ),
+    ];
+    FigureOutput { name: "fig7".into(), report, files }
+}
+
+/// Figure 8: System B's two-column-index plan (bitmap-sorted fetch),
+/// relative to the best of System B's plans.
+pub fn fig8(h: &Harness) -> FigureOutput {
+    let all = h.map_all_systems();
+    let map = all.subset_by_prefix("B");
+    let rel = RelativeMap2D::from_map(&map);
+    let plan = map.plan_index("B1 idx(a,b) bitmap fetch").expect("System B plan");
+    let quotients = rel.quotient_grid(plan).to_vec();
+    let mut report = render_map2d_ansi(
+        &quotients,
+        &rel.sel_a,
+        &rel.sel_b,
+        &relative_scale(),
+        "Figure 8: System B two-column index + bitmap fetch (cost factor)",
+        &ansi_opts(),
+    );
+    let region = RegionStats::of(&rel.optimal_region(plan, OptimalityTolerance::Factor(1.2)));
+    report.push_str(&format!(
+        "near-optimal (within 20%) over {:.1}% of the space; worst quotient {:.0}x\n",
+        region.coverage * 100.0,
+        rel.worst_quotient(plan)
+    ));
+    // The paper's comparison: better worst-case than Figure 7's plan.
+    let a_map = h.map_system_a();
+    let a_rel = RelativeMap2D::from_map(&a_map);
+    let a_plan = a_map.plan_index("A2 idx(a) fetch").expect("System A plan");
+    report.push_str(&format!(
+        "worst quotient vs Figure 7's plan: {:.0}x vs {:.0}x — \"its worst quotient is not as \
+         bad as the one of the prior plan\"\n",
+        rel.worst_quotient(plan),
+        a_rel.worst_quotient(a_plan)
+    ));
+    report.push_str(&relative_report(&rel));
+    let files = vec![
+        h.write_artifact("fig8.csv", &quotients_to_csv(&rel)),
+        h.write_artifact(
+            "fig8.svg",
+            &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 8: System B bitmap-fetch plan vs best of System B"),
+        ),
+    ];
+    FigureOutput { name: "fig8".into(), report, files }
+}
+
+/// Figure 9: System C's MDAM plan over the covering two-column index,
+/// relative to the best of System C's plans.
+pub fn fig9(h: &Harness) -> FigureOutput {
+    let all = h.map_all_systems();
+    let map = all.subset_by_prefix("C");
+    let rel = RelativeMap2D::from_map(&map);
+    let plan = map.plan_index("C1 mdam(a,b) covering").expect("System C plan");
+    let quotients = rel.quotient_grid(plan).to_vec();
+    let mut report = render_map2d_ansi(
+        &quotients,
+        &rel.sel_a,
+        &rel.sel_b,
+        &relative_scale(),
+        "Figure 9: System C covering index + MDAM (cost factor)",
+        &ansi_opts(),
+    );
+    report.push_str(&format!(
+        "worst quotient: {:.1}x; within 10x of best over {:.1}% of the space — \"reasonable \
+         across the entire parameter space, albeit not optimal\"\n",
+        rel.worst_quotient(plan),
+        rel.area_within(plan, 10.0) * 100.0,
+    ));
+    let optimal = rel.optimal_region(plan, OptimalityTolerance::Factor(1.001));
+    report.push_str(&format!(
+        "exactly optimal (factor 1) at {:.1}% of points — \"very [many] data points indicate \
+         that this plan is the best\"\n",
+        optimal.fraction() * 100.0
+    ));
+    report.push_str(&relative_report(&rel));
+    let files = vec![
+        h.write_artifact("fig9.csv", &quotients_to_csv(&rel)),
+        h.write_artifact(
+            "fig9.svg",
+            &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 9: System C MDAM plan vs best of System C"),
+        ),
+    ];
+    FigureOutput { name: "fig9".into(), report, files }
+}
+
+/// Figure 10: the optimal-plans map — most points have several optimal
+/// plans within a measurement tolerance.
+pub fn fig10(h: &Harness) -> FigureOutput {
+    let all = h.map_all_systems();
+    let rel = RelativeMap2D::from_map(&all);
+    let mut report = String::from("Figure 10: optimal plans per parameter-space point\n");
+    // The paper used +-0.1s on measurements in the 4s..890s range; our
+    // simulated times are smaller, so report a matching absolute tolerance
+    // and the scale-free alternatives the paper discusses (1%, 20%, 2x).
+    let abs_tol = OptimalityTolerance::Seconds(0.01);
+    report.push_str(&multi_optimal_report(&rel, abs_tol));
+    for tol in [
+        OptimalityTolerance::Factor(1.01),
+        OptimalityTolerance::Factor(1.2),
+        OptimalityTolerance::Factor(2.0),
+    ] {
+        report.push_str(&multi_optimal_report(&rel, tol));
+    }
+    // Per-plan count of cells where it is (near-)optimal.
+    report.push_str("cells where each plan is within 20% of the best:\n");
+    for (p, name) in rel.plans.iter().enumerate() {
+        let region = rel.optimal_region(p, OptimalityTolerance::Factor(1.2));
+        report.push_str(&format!("  {:<28} {:>5.1}%\n", name, region.fraction() * 100.0));
+    }
+    let counts = rel.optimal_plan_counts(OptimalityTolerance::Factor(1.2));
+    let grid: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let files = vec![
+        h.write_artifact("fig10.csv", &quotients_to_csv(&rel)),
+        h.write_artifact(
+            "fig10.svg",
+            &heatmap_svg(
+                &grid,
+                &rel.sel_a,
+                &rel.sel_b,
+                &robustmap_core::render::relative_scale(),
+                "Figure 10: number of optimal plans per point (within 20%)",
+            ),
+        ),
+    ];
+    FigureOutput { name: "fig10".into(), report, files }
+}

@@ -1,0 +1,141 @@
+//! Shared harness state: the workload, measurement config, lazily built
+//! maps (several figures share the System A map), and artifact output.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+
+use robustmap_core::{build_map2d, Grid2D, Map2D, MeasureConfig};
+use robustmap_systems::{two_predicate_plans, SystemId, TwoPredPlan};
+use robustmap_workload::{TableBuilder, Workload, WorkloadConfig};
+
+/// Harness scale parameters.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Table rows (paper: 60M; default here: 2^20, recorded in
+    /// EXPERIMENTS.md).
+    pub rows: u64,
+    /// Grid exponent: axes run `2^-grid_exp ..= 1` in factor-2 steps.
+    pub grid_exp: u32,
+    /// Where CSV/SVG artifacts go.
+    pub out_dir: PathBuf,
+    /// Measurement conditions.
+    pub measure: MeasureConfig,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            rows: 1 << 20,
+            grid_exp: 16,
+            out_dir: PathBuf::from("target/figures"),
+            measure: MeasureConfig::default(),
+        }
+    }
+}
+
+/// One regenerated figure: its printed report and written artifact files.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Figure id, e.g. `"fig7"`.
+    pub name: String,
+    /// The text the harness prints (series, landmarks, statistics).
+    pub report: String,
+    /// Paths of artifacts written (CSV, SVG).
+    pub files: Vec<PathBuf>,
+}
+
+/// Workload + caches shared by all figure functions.
+pub struct Harness {
+    /// The built workload.
+    pub w: Workload,
+    /// Scale parameters.
+    pub config: HarnessConfig,
+    map_a: RefCell<Option<Map2D>>,
+    map_all: RefCell<Option<Map2D>>,
+}
+
+impl Harness {
+    /// Build the workload and prepare the output directory.
+    pub fn new(config: HarnessConfig) -> Self {
+        let w = TableBuilder::build(WorkloadConfig::with_rows(config.rows));
+        std::fs::create_dir_all(&config.out_dir).expect("create output directory");
+        Harness { w, config, map_a: RefCell::new(None), map_all: RefCell::new(None) }
+    }
+
+    /// A fast harness for tests and Criterion benches: 2^14 rows, 2^-8
+    /// grids, artifacts under `target/figures-test`.
+    pub fn tiny() -> Self {
+        Self::new(HarnessConfig {
+            rows: 1 << 14,
+            grid_exp: 8,
+            out_dir: PathBuf::from("target/figures-test"),
+            ..Default::default()
+        })
+    }
+
+    /// The 2-D grid all two-predicate maps use.
+    pub fn grid2d(&self) -> Grid2D {
+        Grid2D::pow2(self.config.grid_exp)
+    }
+
+    /// System A's seven-plan 2-D map (Figures 4, 5, 7), built once.
+    pub fn map_system_a(&self) -> Map2D {
+        if self.map_a.borrow().is_none() {
+            let plans = two_predicate_plans(SystemId::A, &self.w);
+            let map = build_map2d(&self.w, &plans, &self.grid2d(), &self.config.measure);
+            *self.map_a.borrow_mut() = Some(map);
+        }
+        self.map_a.borrow().clone().expect("just built")
+    }
+
+    /// The all-systems fifteen-plan map (Figures 8-10, extensions), built
+    /// once.
+    pub fn map_all_systems(&self) -> Map2D {
+        if self.map_all.borrow().is_none() {
+            let plans: Vec<TwoPredPlan> = SystemId::all()
+                .into_iter()
+                .flat_map(|s| two_predicate_plans(s, &self.w))
+                .collect();
+            let map = build_map2d(&self.w, &plans, &self.grid2d(), &self.config.measure);
+            *self.map_all.borrow_mut() = Some(map);
+        }
+        self.map_all.borrow().clone().expect("just built")
+    }
+
+    /// Write an artifact file, returning its path.
+    pub fn write_artifact(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.config.out_dir.join(name);
+        std::fs::write(&path, contents).expect("write artifact");
+        path
+    }
+
+    /// The output directory.
+    pub fn out_dir(&self) -> &Path {
+        &self.config.out_dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_harness_builds_and_caches_maps() {
+        let h = Harness::tiny();
+        let m1 = h.map_system_a();
+        let m2 = h.map_system_a();
+        assert_eq!(m1, m2);
+        assert_eq!(m1.plan_count(), 7);
+        assert_eq!(m1.dims(), (9, 9));
+        let all = h.map_all_systems();
+        assert_eq!(all.plan_count(), 15);
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let h = Harness::tiny();
+        let p = h.write_artifact("smoke.txt", "hello");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "hello");
+    }
+}

@@ -1,0 +1,93 @@
+//! # robustmap-bench
+//!
+//! The figure-regeneration harness: one function per figure of the paper
+//! (and per extension experiment), each of which measures the maps, prints
+//! the same series/statistics the paper's figure shows, and writes CSV +
+//! SVG artifacts.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p robustmap-bench --bin figures -- all
+//! ```
+//!
+//! or a single figure with `-- fig7`, etc.  Criterion benchmarks under
+//! `benches/` exercise the same code paths at reduced scale so `cargo
+//! bench` regenerates every figure and times the substrate.
+
+pub mod figures_ext;
+pub mod figures_paper;
+pub mod harness;
+
+pub use harness::{FigureOutput, Harness, HarnessConfig};
+
+/// All figure names known to the harness, in presentation order.
+pub const ALL_FIGURES: &[&str] = &[
+    "legends",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ext_sort_spill",
+    "ext_memory",
+    "ext_worst",
+    "ext_shootout",
+    "ext_ablation",
+    "ext_buffer",
+    "ext_join",
+    "ext_parallel",
+    "ext_skew",
+    "ext_optimizer",
+    "ext_regression",
+];
+
+/// Run one named figure against a harness.  Unknown names return `None`.
+pub fn run_figure(h: &Harness, name: &str) -> Option<FigureOutput> {
+    Some(match name {
+        "legends" => figures_paper::legends(h),
+        "fig1" => figures_paper::fig1(h),
+        "fig2" => figures_paper::fig2(h),
+        "fig4" => figures_paper::fig4(h),
+        "fig5" => figures_paper::fig5(h),
+        "fig7" => figures_paper::fig7(h),
+        "fig8" => figures_paper::fig8(h),
+        "fig9" => figures_paper::fig9(h),
+        "fig10" => figures_paper::fig10(h),
+        "ext_sort_spill" => figures_ext::ext_sort_spill(h),
+        "ext_memory" => figures_ext::ext_memory(h),
+        "ext_worst" => figures_ext::ext_worst(h),
+        "ext_shootout" => figures_ext::ext_shootout(h),
+        "ext_ablation" => figures_ext::ext_ablation(h),
+        "ext_buffer" => figures_ext::ext_buffer(h),
+        "ext_join" => figures_ext::ext_join(h),
+        "ext_parallel" => figures_ext::ext_parallel(h),
+        "ext_skew" => figures_ext::ext_skew(h),
+        "ext_optimizer" => figures_ext::ext_optimizer(h),
+        "ext_regression" => figures_ext::ext_regression(h),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_figure_is_runnable() {
+        let h = Harness::tiny();
+        for name in ALL_FIGURES {
+            let out = run_figure(&h, name).expect("known figure");
+            assert!(!out.report.is_empty(), "{name} produced an empty report");
+        }
+    }
+
+    #[test]
+    fn unknown_figure_is_none() {
+        let h = Harness::tiny();
+        assert!(run_figure(&h, "fig99").is_none());
+    }
+}

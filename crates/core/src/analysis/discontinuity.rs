@@ -1,0 +1,78 @@
+//! Discontinuity detection.
+//!
+//! §4: "we expect that some implementations of sorting spill their entire
+//! input to disk if the input size exceeds the memory size by merely a
+//! single record.  Those sort implementations lacking graceful degradation
+//! will show discontinuous execution costs."  A discontinuity is a jump in
+//! cost between adjacent parameter points far beyond the change in work.
+
+/// A jump in cost between adjacent grid points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discontinuity {
+    /// Index `i`: the jump is from point `i - 1` to `i`.
+    pub index: usize,
+    /// Cost before and after.
+    pub cost: (f64, f64),
+    /// Cost ratio `cost_i / cost_{i-1}`.
+    pub cost_ratio: f64,
+    /// Work ratio `work_i / work_{i-1}` for context.
+    pub work_ratio: f64,
+}
+
+/// Find points where cost grows by more than `jump_factor` times the work
+/// growth between adjacent points (e.g. `jump_factor = 4.0` on a
+/// factor-of-2 grid flags cost jumps above 8x).  Works on any ascending
+/// positive `work` axis.
+///
+/// # Panics
+/// Panics if the inputs differ in length.
+pub fn detect_discontinuities(work: &[f64], cost: &[f64], jump_factor: f64) -> Vec<Discontinuity> {
+    assert_eq!(work.len(), cost.len(), "axis/cost length mismatch");
+    let mut out = Vec::new();
+    for i in 1..cost.len() {
+        if cost[i - 1] <= 0.0 || work[i - 1] <= 0.0 {
+            continue;
+        }
+        let cost_ratio = cost[i] / cost[i - 1];
+        let work_ratio = work[i] / work[i - 1];
+        if cost_ratio > jump_factor * work_ratio {
+            out.push(Discontinuity { index: i, cost: (cost[i - 1], cost[i]), cost_ratio, work_ratio });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_curve_is_clean() {
+        let work = [1.0, 2.0, 4.0, 8.0];
+        let cost = [1.0, 2.0, 4.0, 8.0];
+        assert!(detect_discontinuities(&work, &cost, 2.0).is_empty());
+    }
+
+    #[test]
+    fn detects_a_spill_cliff() {
+        // Cost explodes by 50x between adjacent points (work only 2x):
+        // the abrupt-sort signature.
+        let work = [1.0, 2.0, 4.0, 8.0];
+        let cost = [0.1, 0.2, 10.0, 11.0];
+        let d = detect_discontinuities(&work, &cost, 4.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].index, 2);
+        assert!((d[0].cost_ratio - 50.0).abs() < 1e-9);
+        assert!((d[0].work_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_factor_scales_with_work_growth() {
+        // Work grows 10x and cost grows 25x: ratio-over-work is only 2.5x,
+        // clean at factor 4, flagged at factor 2.
+        let work = [1.0, 10.0];
+        let cost = [1.0, 25.0];
+        assert!(detect_discontinuities(&work, &cost, 4.0).is_empty());
+        assert_eq!(detect_discontinuities(&work, &cost, 2.0).len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cost-curve flattening checks.
+//!
+//! "The cost curve should flatten, i.e., its first derivative should
+//! monotonically decrease.  Fetching more rows should cost more, but the
+//! difference between fetching 100 and 200 rows should not be greater than
+//! between fetching 1,000 and 1,100 rows.  This last condition is not true
+//! for the improved index scan in Figure 1 as it shows a flat cost growth
+//! followed by a steeper cost growth for very large result sizes." (§3.1)
+
+/// A segment where the marginal cost per unit of work *increased*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatteningViolation {
+    /// Index of the segment start (the violation is between segments
+    /// `index-1 -> index` and `index -> index+1`).
+    pub index: usize,
+    /// Marginal cost (d cost / d work) of the earlier segment.
+    pub slope_before: f64,
+    /// Marginal cost of the later segment.
+    pub slope_after: f64,
+    /// Ratio `slope_after / slope_before` (> 1 means steepening).
+    pub steepening: f64,
+}
+
+/// Find segments where the first derivative of cost w.r.t. work increases
+/// by more than `factor_tolerance` (e.g. `1.25` flags slopes growing by
+/// more than 25%).  Work must be ascending.
+///
+/// # Panics
+/// Panics if the inputs differ in length.
+pub fn flattening_violations(
+    work: &[f64],
+    cost: &[f64],
+    factor_tolerance: f64,
+) -> Vec<FlatteningViolation> {
+    assert_eq!(work.len(), cost.len(), "axis/cost length mismatch");
+    if work.len() < 3 {
+        return Vec::new();
+    }
+    let slopes: Vec<f64> = work
+        .windows(2)
+        .zip(cost.windows(2))
+        .map(|(w, c)| {
+            let dw = w[1] - w[0];
+            debug_assert!(dw > 0.0, "work must be strictly ascending");
+            (c[1] - c[0]) / dw
+        })
+        .collect();
+    let mut out = Vec::new();
+    for i in 1..slopes.len() {
+        let (before, after) = (slopes[i - 1], slopes[i]);
+        if before <= 0.0 {
+            // Flat or declining before: any positive slope afterwards is a
+            // steepening if it is materially positive.
+            if after > 0.0 && before == 0.0 {
+                out.push(FlatteningViolation {
+                    index: i,
+                    slope_before: before,
+                    slope_after: after,
+                    steepening: f64::INFINITY,
+                });
+            }
+            continue;
+        }
+        let steepening = after / before;
+        if steepening > factor_tolerance {
+            out.push(FlatteningViolation { index: i, slope_before: before, slope_after: after, steepening });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concave_curve_is_clean() {
+        // Slopes: 10, 5, 2 — monotonically decreasing.
+        let work = [0.0, 1.0, 2.0, 3.0];
+        let cost = [0.0, 10.0, 15.0, 17.0];
+        assert!(flattening_violations(&work, &cost, 1.0).is_empty());
+    }
+
+    #[test]
+    fn detects_the_improved_scan_tail() {
+        // Flat growth followed by steeper growth (Figure 1's improved
+        // index scan): slopes 1, 1, 4.
+        let work = [0.0, 1.0, 2.0, 3.0];
+        let cost = [0.0, 1.0, 2.0, 6.0];
+        let v = flattening_violations(&work, &cost, 1.25);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].index, 2);
+        assert!((v[0].steepening - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_suppresses_mild_steepening() {
+        let work = [0.0, 1.0, 2.0];
+        let cost = [0.0, 1.0, 2.1]; // slopes 1.0 then 1.1
+        assert!(flattening_violations(&work, &cost, 1.25).is_empty());
+        assert_eq!(flattening_violations(&work, &cost, 1.05).len(), 1);
+    }
+
+    #[test]
+    fn short_series_has_no_violations() {
+        assert!(flattening_violations(&[1.0, 2.0], &[1.0, 2.0], 1.0).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Break-even landmarks between plans.
+//!
+//! Figure 1's reading hinges on landmarks: "The break-even point between
+//! table scan and traditional index scan is at about 30K result rows or
+//! 2^-11 of the rows in the table.  The cost of the improved index scan
+//! remains competitive with the table scan all the way up to about 4M
+//! result rows or 2^-4."  [`crossovers`] locates such points on a pair of
+//! measured series, interpolating in log-log space (the scale the paper
+//! plots in).
+
+/// A crossover between two cost series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossover {
+    /// The crossover lies between grid indices `index - 1` and `index`.
+    pub index: usize,
+    /// Interpolated axis value (e.g. selectivity) of the crossing.
+    pub at: f64,
+    /// `true` if series `a` is cheaper after the crossing.
+    pub a_wins_after: bool,
+}
+
+/// Find all points where series `a` and `b` swap which one is cheaper,
+/// over a shared positive ascending `axis`.  Exact ties are attributed to
+/// the earlier segment.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn crossovers(axis: &[f64], a: &[f64], b: &[f64]) -> Vec<Crossover> {
+    assert!(axis.len() == a.len() && a.len() == b.len(), "series length mismatch");
+    let mut out = Vec::new();
+    let sign = |i: usize| -> i8 {
+        match a[i].partial_cmp(&b[i]) {
+            Some(std::cmp::Ordering::Less) => -1,
+            Some(std::cmp::Ordering::Greater) => 1,
+            _ => 0,
+        }
+    };
+    let mut prev_sign = 0i8;
+    let mut prev_idx = 0usize;
+    for i in 0..axis.len() {
+        let s = sign(i);
+        if s == 0 {
+            continue;
+        }
+        if prev_sign != 0 && s != prev_sign {
+            out.push(Crossover {
+                index: i,
+                at: interpolate_crossing(axis, a, b, prev_idx, i),
+                a_wins_after: s < 0,
+            });
+        }
+        prev_sign = s;
+        prev_idx = i;
+    }
+    out
+}
+
+/// Interpolate where `a` and `b` cross between indices `i0` and `i1`,
+/// in log-log space when all values are positive.
+fn interpolate_crossing(axis: &[f64], a: &[f64], b: &[f64], i0: usize, i1: usize) -> f64 {
+    let (x0, x1) = (axis[i0], axis[i1]);
+    let vals = [a[i0], a[i1], b[i0], b[i1], x0, x1];
+    if vals.iter().any(|&v| v <= 0.0) {
+        // Fall back to the midpoint.
+        return 0.5 * (x0 + x1);
+    }
+    // Solve ln(a) - ln(b) = 0 linearly in ln(x).
+    let d0 = a[i0].ln() - b[i0].ln();
+    let d1 = a[i1].ln() - b[i1].ln();
+    if (d1 - d0).abs() < f64::EPSILON {
+        return 0.5 * (x0 + x1);
+    }
+    let t = d0 / (d0 - d1);
+    (x0.ln() + t * (x1.ln() - x0.ln())).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_crossing_when_one_dominates() {
+        let axis = [1.0, 2.0, 4.0];
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        assert!(crossovers(&axis, &a, &b).is_empty());
+    }
+
+    #[test]
+    fn single_crossing_located_between_points() {
+        // a constant at 4; b = axis: crossing at axis = 4.
+        let axis = [1.0, 2.0, 8.0, 16.0];
+        let a = [4.0, 4.0, 4.0, 4.0];
+        let b = [1.0, 2.0, 8.0, 16.0];
+        let xs = crossovers(&axis, &a, &b);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].index, 2);
+        assert!(xs[0].a_wins_after, "a becomes the cheaper one after the crossing");
+        assert!((xs[0].at - 4.0).abs() < 0.2, "interpolated at {}", xs[0].at);
+    }
+
+    #[test]
+    fn double_crossing() {
+        let axis = [1.0, 2.0, 4.0, 8.0];
+        let a = [1.0, 3.0, 3.0, 1.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        let xs = crossovers(&axis, &a, &b);
+        assert_eq!(xs.len(), 2);
+        assert!(!xs[0].a_wins_after);
+        assert!(xs[1].a_wins_after);
+    }
+
+    #[test]
+    fn ties_do_not_double_count() {
+        let axis = [1.0, 2.0, 4.0];
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 2.0]; // touches at index 1, crosses after
+        let xs = crossovers(&axis, &a, &b);
+        assert_eq!(xs.len(), 1);
+        assert!(!xs[0].a_wins_after);
+    }
+}

@@ -1,0 +1,86 @@
+//! Monotonicity checks.
+//!
+//! "Fetching rows should become more expensive with additional rows; if
+//! cases exist in which fetching more rows is cheaper than fetching fewer
+//! rows, something is amiss.  For example, the governing policy or some
+//! implementation mechanisms might be faulty in the algorithms that switch
+//! to pre-fetching large pages" (§3.1).
+
+/// A point where cost *decreased* although work increased.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonotonicityViolation {
+    /// Index `i` such that `cost[i] < cost[i - 1]`.
+    pub index: usize,
+    /// Work (result rows / selectivity) at `i - 1` and `i`.
+    pub work: (f64, f64),
+    /// Cost at `i - 1` and `i`.
+    pub cost: (f64, f64),
+    /// Relative drop `1 - cost_i / cost_{i-1}` in `(0, 1]`.
+    pub drop: f64,
+}
+
+/// Find all monotonicity violations of `cost` as a function of ascending
+/// `work`, ignoring drops smaller than `tolerance` (relative; e.g. `0.01`
+/// forgives 1% measurement jitter).
+///
+/// # Panics
+/// Panics if the inputs differ in length.
+pub fn monotonicity_violations(
+    work: &[f64],
+    cost: &[f64],
+    tolerance: f64,
+) -> Vec<MonotonicityViolation> {
+    assert_eq!(work.len(), cost.len(), "axis/cost length mismatch");
+    let mut out = Vec::new();
+    for i in 1..cost.len() {
+        if cost[i - 1] <= 0.0 {
+            continue;
+        }
+        let drop = 1.0 - cost[i] / cost[i - 1];
+        if drop > tolerance {
+            out.push(MonotonicityViolation {
+                index: i,
+                work: (work[i - 1], work[i]),
+                cost: (cost[i - 1], cost[i]),
+                drop,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_series_is_clean() {
+        let work = [1.0, 2.0, 4.0, 8.0];
+        let cost = [1.0, 1.5, 3.0, 3.0];
+        assert!(monotonicity_violations(&work, &cost, 0.0).is_empty());
+    }
+
+    #[test]
+    fn detects_a_dip() {
+        let work = [1.0, 2.0, 4.0];
+        let cost = [1.0, 0.5, 2.0];
+        let v = monotonicity_violations(&work, &cost, 0.01);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].index, 1);
+        assert!((v[0].drop - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_forgives_jitter() {
+        let work = [1.0, 2.0];
+        let cost = [1.0, 0.995];
+        assert!(monotonicity_violations(&work, &cost, 0.01).is_empty());
+        assert_eq!(monotonicity_violations(&work, &cost, 0.001).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        monotonicity_violations(&[1.0], &[1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Robustness scores: the benchmark the paper sketches in §4.
+//!
+//! "With the experience thus gained, we will then define a benchmark that
+//! focuses on robustness of query execution ...  This benchmark will
+//! identify weaknesses in the algorithms and their implementation, track
+//! progress against these weaknesses, and permit daily regression testing."
+//!
+//! A [`RobustnessScore`] condenses one plan's map into the quantities the
+//! paper reads off its figures: worst-case quotient, coverage within small
+//! factors of the best plan, smoothness, and contiguity of the optimality
+//! region.  Scores order plans by *robustness*, not by peak performance —
+//! the trade-off §3.3 ends on ("robustness might well trump performance").
+
+use crate::analysis::discontinuity::detect_discontinuities;
+use crate::analysis::monotonicity::monotonicity_violations;
+use crate::regions::RegionStats;
+use crate::relative::{OptimalityTolerance, RelativeMap2D};
+
+/// Condensed robustness metrics for one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessScore {
+    /// Plan name.
+    pub plan: String,
+    /// Worst quotient vs. the best plan anywhere in the space.
+    pub worst_quotient: f64,
+    /// Fraction of the space within 2x of the best plan.
+    pub area_within_2x: f64,
+    /// Fraction of the space within 10x of the best plan.
+    pub area_within_10x: f64,
+    /// Number of cost discontinuities along axis-parallel sweeps.
+    pub discontinuities: usize,
+    /// Number of monotonicity violations along axis-parallel sweeps.
+    pub monotonicity_violations: usize,
+    /// Stats of the plan's strict-ish optimality region (factor 1.2).
+    pub region: RegionStats,
+}
+
+impl RobustnessScore {
+    /// A single headline number in `[0, 1]`: the harmonic blend of
+    /// coverage terms penalised by the worst-case quotient.  Designed for
+    /// regression tracking, not for cross-paper comparison.
+    pub fn headline(&self) -> f64 {
+        let coverage = 0.5 * self.area_within_2x + 0.5 * self.area_within_10x;
+        let worst_penalty = 1.0 / (1.0 + self.worst_quotient.log10().max(0.0));
+        let smooth_penalty =
+            1.0 / (1.0 + self.discontinuities as f64 + self.monotonicity_violations as f64);
+        coverage * worst_penalty.sqrt() * smooth_penalty.sqrt()
+    }
+}
+
+/// Score one plan of a 2-D relative map.  Sweeps rows and columns for
+/// smoothness checks (cost as a function of each selectivity axis).
+pub fn score_map2d(rel: &RelativeMap2D, plan: usize, absolute_seconds: &[f64]) -> RobustnessScore {
+    let (na, nb) = rel.dims();
+    assert_eq!(absolute_seconds.len(), na * nb, "seconds grid size mismatch");
+    let mut discontinuities = 0;
+    let mut monos = 0;
+    // Row sweeps (fix ib, vary ia).
+    for ib in 0..nb {
+        let work: Vec<f64> = rel.sel_a.to_vec();
+        let cost: Vec<f64> = (0..na).map(|ia| absolute_seconds[ia * nb + ib]).collect();
+        discontinuities += detect_discontinuities(&work, &cost, 8.0).len();
+        monos += monotonicity_violations(&work, &cost, 0.05).len();
+    }
+    // Column sweeps (fix ia, vary ib).
+    for ia in 0..na {
+        let work: Vec<f64> = rel.sel_b.to_vec();
+        let cost: Vec<f64> = (0..nb).map(|ib| absolute_seconds[ia * nb + ib]).collect();
+        discontinuities += detect_discontinuities(&work, &cost, 8.0).len();
+        monos += monotonicity_violations(&work, &cost, 0.05).len();
+    }
+    let region = RegionStats::of(&rel.optimal_region(plan, OptimalityTolerance::Factor(1.2)));
+    RobustnessScore {
+        plan: rel.plans[plan].clone(),
+        worst_quotient: rel.worst_quotient(plan),
+        area_within_2x: rel.area_within(plan, 2.0),
+        area_within_10x: rel.area_within(plan, 10.0),
+        discontinuities,
+        monotonicity_violations: monos,
+        region,
+    }
+}
+
+/// Score a 1-D series: worst quotient and smoothness against the best of
+/// the map's plans.
+pub fn score_series(
+    plan: &str,
+    sels: &[f64],
+    seconds: &[f64],
+    best_seconds: &[f64],
+) -> RobustnessScore {
+    assert!(sels.len() == seconds.len() && seconds.len() == best_seconds.len());
+    let quotients: Vec<f64> = seconds
+        .iter()
+        .zip(best_seconds)
+        .map(|(&s, &b)| if b > 0.0 { s / b } else { 1.0 })
+        .collect();
+    let worst = quotients.iter().copied().fold(1.0, f64::max);
+    let within = |f: f64| quotients.iter().filter(|&&q| q <= f).count() as f64 / quotients.len() as f64;
+    let mut grid = crate::regions::BoolGrid::new(sels.len(), 1);
+    for (i, &q) in quotients.iter().enumerate() {
+        grid.set(i, 0, q <= 1.2);
+    }
+    RobustnessScore {
+        plan: plan.to_string(),
+        worst_quotient: worst,
+        area_within_2x: within(2.0),
+        area_within_10x: within(10.0),
+        discontinuities: detect_discontinuities(sels, seconds, 8.0).len(),
+        monotonicity_violations: monotonicity_violations(sels, seconds, 0.05).len(),
+        region: RegionStats::of(&grid),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Map2D;
+    use crate::measure::Measurement;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, ..Default::default() }
+    }
+
+    fn rel_map() -> (RelativeMap2D, Vec<Vec<f64>>) {
+        // 2x2: robust plan (always within 2x) vs. fragile plan (optimal at
+        // one corner, catastrophic at another).
+        let robust = vec![m(2.0), m(2.0), m(2.0), m(2.0)];
+        let fragile = vec![m(1.0), m(1.5), m(3.0), m(2000.0)];
+        let map = Map2D::new(
+            vec![0.5, 1.0],
+            vec![0.5, 1.0],
+            vec!["robust".into(), "fragile".into()],
+            vec![robust, fragile],
+        );
+        let grids = vec![map.seconds_grid(0), map.seconds_grid(1)];
+        (RelativeMap2D::from_map(&map), grids)
+    }
+
+    #[test]
+    fn robust_plan_scores_higher() {
+        let (rel, grids) = rel_map();
+        let s_robust = score_map2d(&rel, 0, &grids[0]);
+        let s_fragile = score_map2d(&rel, 1, &grids[1]);
+        assert!(s_robust.worst_quotient <= 2.0);
+        assert!(s_fragile.worst_quotient >= 1000.0);
+        assert!(s_robust.headline() > s_fragile.headline());
+    }
+
+    #[test]
+    fn fragile_plan_shows_discontinuity() {
+        let (rel, grids) = rel_map();
+        let s = score_map2d(&rel, 1, &grids[1]);
+        assert!(s.discontinuities > 0, "1.5 -> 2000 along an axis is a cliff");
+    }
+
+    #[test]
+    fn series_score_counts_coverage() {
+        let sels = [0.25, 0.5, 1.0];
+        let best = [1.0, 2.0, 4.0];
+        let mine = [1.0, 3.0, 100.0];
+        let s = score_series("p", &sels, &mine, &best);
+        assert!((s.area_within_2x - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.worst_quotient - 25.0).abs() < 1e-12);
+        assert_eq!(s.region.total_area, 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Robustness map data structures.
+//!
+//! A map holds one [`crate::measure::Measurement`] per plan
+//! per parameter point.  1-D maps (Figures 1, 2) are families of series
+//! over a selectivity axis; 2-D maps (Figures 4-9) are per-plan grids over
+//! two selectivity axes.
+
+use crate::measure::Measurement;
+
+/// One plan's measurements across a 1-D sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Plan name (map legend label).
+    pub plan: String,
+    /// One measurement per grid point, in axis order.
+    pub points: Vec<Measurement>,
+}
+
+impl Series {
+    /// The simulated seconds of each point.
+    pub fn seconds(&self) -> Vec<f64> {
+        self.points.iter().map(|m| m.seconds).collect()
+    }
+}
+
+/// A 1-D robustness map: several plans over one selectivity axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map1D {
+    /// The selectivity axis (ascending).
+    pub sels: Vec<f64>,
+    /// Result sizes (rows) at each axis point — the paper labels its x-axis
+    /// in result rows.
+    pub result_rows: Vec<u64>,
+    /// One series per plan.
+    pub series: Vec<Series>,
+}
+
+impl Map1D {
+    /// Number of axis points.
+    pub fn len(&self) -> usize {
+        self.sels.len()
+    }
+
+    /// Whether the map has no points.
+    pub fn is_empty(&self) -> bool {
+        self.sels.is_empty()
+    }
+
+    /// Find a series by plan name.
+    pub fn series_named(&self, plan: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.plan == plan)
+    }
+
+    /// The best (minimum) seconds at each axis point across all plans.
+    pub fn best_seconds(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| {
+                self.series
+                    .iter()
+                    .map(|s| s.points[i].seconds)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// Per-plan quotient series relative to the best plan at each point
+    /// (the paper's "performance relative to the best plan", Figure 2).
+    pub fn relative(&self) -> Vec<(String, Vec<f64>)> {
+        let best = self.best_seconds();
+        self.series
+            .iter()
+            .map(|s| {
+                let q = s
+                    .points
+                    .iter()
+                    .zip(&best)
+                    .map(|(m, &b)| if b > 0.0 { m.seconds / b } else { 1.0 })
+                    .collect();
+                (s.plan.clone(), q)
+            })
+            .collect()
+    }
+}
+
+/// A 2-D robustness map: several plans over a selectivity × selectivity
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map2D {
+    /// The `a` (x) axis, ascending.
+    pub sel_a: Vec<f64>,
+    /// The `b` (y) axis, ascending.
+    pub sel_b: Vec<f64>,
+    /// Plan names, indexing the outer dimension of `data`.
+    pub plans: Vec<String>,
+    /// `data[plan][ia * sel_b.len() + ib]`.
+    data: Vec<Vec<Measurement>>,
+}
+
+impl Map2D {
+    /// Assemble a map; `data` must have one inner vector per plan, each of
+    /// length `sel_a.len() * sel_b.len()` in `ia`-major order.
+    pub fn new(
+        sel_a: Vec<f64>,
+        sel_b: Vec<f64>,
+        plans: Vec<String>,
+        data: Vec<Vec<Measurement>>,
+    ) -> Self {
+        assert_eq!(plans.len(), data.len(), "one grid per plan");
+        let cells = sel_a.len() * sel_b.len();
+        assert!(data.iter().all(|d| d.len() == cells), "grid size mismatch");
+        Map2D { sel_a, sel_b, plans, data }
+    }
+
+    /// Grid dimensions `(|a|, |b|)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.sel_a.len(), self.sel_b.len())
+    }
+
+    /// Number of plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Flat cell index for `(ia, ib)`.
+    #[inline]
+    pub fn cell(&self, ia: usize, ib: usize) -> usize {
+        debug_assert!(ia < self.sel_a.len() && ib < self.sel_b.len());
+        ia * self.sel_b.len() + ib
+    }
+
+    /// Measurement of `plan` at `(ia, ib)`.
+    pub fn get(&self, plan: usize, ia: usize, ib: usize) -> &Measurement {
+        &self.data[plan][self.cell(ia, ib)]
+    }
+
+    /// The whole grid of one plan (ia-major).
+    pub fn plan_grid(&self, plan: usize) -> &[Measurement] {
+        &self.data[plan]
+    }
+
+    /// Seconds of `plan` as an ia-major vector.
+    pub fn seconds_grid(&self, plan: usize) -> Vec<f64> {
+        self.data[plan].iter().map(|m| m.seconds).collect()
+    }
+
+    /// Index of a plan by name.
+    pub fn plan_index(&self, name: &str) -> Option<usize> {
+        self.plans.iter().position(|p| p == name)
+    }
+
+    /// Min and max seconds of one plan across the grid (the paper reports
+    /// e.g. "ranging from 4 seconds to 890 seconds" for Figure 4).
+    pub fn seconds_range(&self, plan: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for m in &self.data[plan] {
+            lo = lo.min(m.seconds);
+            hi = hi.max(m.seconds);
+        }
+        (lo, hi)
+    }
+
+    /// Restrict to a single plan (useful for rendering).
+    pub fn single_plan(&self, plan: usize) -> Map2D {
+        self.subset(&[plan])
+    }
+
+    /// Restrict to a subset of plans, in the given order — e.g. one
+    /// system's repertoire out of an all-systems map.
+    pub fn subset(&self, plans: &[usize]) -> Map2D {
+        Map2D {
+            sel_a: self.sel_a.clone(),
+            sel_b: self.sel_b.clone(),
+            plans: plans.iter().map(|&p| self.plans[p].clone()).collect(),
+            data: plans.iter().map(|&p| self.data[p].clone()).collect(),
+        }
+    }
+
+    /// Restrict to the plans whose names start with `prefix`.
+    pub fn subset_by_prefix(&self, prefix: &str) -> Map2D {
+        let idx: Vec<usize> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(i, _)| i)
+            .collect();
+        self.subset(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Measurement;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, io: Default::default(), rows: 0, spilled: false }
+    }
+
+    fn tiny_map() -> Map2D {
+        // 2x3 grid, 2 plans.
+        let a = vec![0.25, 1.0];
+        let b = vec![0.1, 0.5, 1.0];
+        let p0: Vec<Measurement> = (0..6).map(|i| m(i as f64 + 1.0)).collect();
+        let p1: Vec<Measurement> = (0..6).map(|i| m(10.0 - i as f64)).collect();
+        Map2D::new(a, b, vec!["p0".into(), "p1".into()], vec![p0, p1])
+    }
+
+    #[test]
+    fn map2d_indexing() {
+        let map = tiny_map();
+        assert_eq!(map.dims(), (2, 3));
+        assert_eq!(map.get(0, 0, 0).seconds, 1.0);
+        assert_eq!(map.get(0, 1, 2).seconds, 6.0);
+        assert_eq!(map.get(1, 0, 1).seconds, 9.0);
+        assert_eq!(map.seconds_range(0), (1.0, 6.0));
+        assert_eq!(map.plan_index("p1"), Some(1));
+        assert_eq!(map.plan_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size mismatch")]
+    fn map2d_rejects_bad_sizes() {
+        Map2D::new(vec![0.5], vec![0.5], vec!["p".into()], vec![vec![]]);
+    }
+
+    #[test]
+    fn map1d_relative_quotients() {
+        let map = Map1D {
+            sels: vec![0.5, 1.0],
+            result_rows: vec![5, 10],
+            series: vec![
+                Series { plan: "fast".into(), points: vec![m(1.0), m(2.0)] },
+                Series { plan: "slow".into(), points: vec![m(3.0), m(2.0)] },
+            ],
+        };
+        assert_eq!(map.best_seconds(), vec![1.0, 2.0]);
+        let rel = map.relative();
+        assert_eq!(rel[0].1, vec![1.0, 1.0]);
+        assert_eq!(rel[1].1, vec![3.0, 1.0]);
+        assert!(map.series_named("slow").is_some());
+    }
+
+    #[test]
+    fn single_plan_projection() {
+        let map = tiny_map();
+        let solo = map.single_plan(1);
+        assert_eq!(solo.plan_count(), 1);
+        assert_eq!(solo.plans[0], "p1");
+        assert_eq!(solo.get(0, 1, 2).seconds, 5.0);
+    }
+}

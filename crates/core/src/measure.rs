@@ -1,0 +1,279 @@
+//! The map builder: measuring plans across parameter grids.
+//!
+//! Each (plan, grid point) pair executes in a fresh [`Session`] — cold
+//! buffer pool, private simulated clock — so every cell is independent and
+//! the whole map is deterministic no matter how many threads sweep it.
+//! That mirrors the paper's methodology of measuring each plan/parameter
+//! combination in isolation.
+
+use robustmap_executor::{execute_count, ExecCtx, PlanSpec};
+use robustmap_storage::{BufferPool, CostModel, Database, EvictionPolicy, IoStats, Session};
+use robustmap_systems::{SinglePredPlan, TwoPredPlan};
+use robustmap_workload::Workload;
+
+use crate::map::{Map1D, Map2D, Series};
+use crate::param::{Grid1D, Grid2D};
+
+/// One measured plan execution: the paper's unit of data.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Measurement {
+    /// Simulated elapsed seconds (the map's z value).
+    pub seconds: f64,
+    /// I/O and CPU counters.
+    pub io: IoStats,
+    /// Result rows.
+    pub rows: u64,
+    /// Whether any operator spilled.
+    pub spilled: bool,
+}
+
+/// Run-time conditions shared by every cell of a map.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Buffer pool size in pages for each execution (a run-time resource
+    /// dimension in its own right).
+    pub pool_pages: usize,
+    /// Replacement policy.
+    pub policy: EvictionPolicy,
+    /// Memory grant per query, in bytes.
+    pub memory_bytes: usize,
+    /// Cost model (hardware generation).
+    pub model: CostModel,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            pool_pages: 1024, // 8 MiB: upper index levels stay hot, tables do not fit
+            policy: EvictionPolicy::Lru,
+            // 8 MiB: hash builds over roughly half the default table spill,
+            // so the hash join's build-side memory cliff — the asymmetry
+            // the paper contrasts with the merge join — is inside the
+            // swept parameter space.
+            memory_bytes: 8 << 20,
+            model: CostModel::hdd_2009(),
+            threads: 0,
+        }
+    }
+}
+
+impl MeasureConfig {
+    fn effective_threads(&self, work_items: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, work_items.max(1))
+    }
+
+    fn session(&self) -> Session {
+        Session::new(self.model.clone(), BufferPool::new(self.pool_pages, self.policy))
+    }
+}
+
+/// Execute one plan under the configured run-time conditions and return its
+/// measurement.  The building block for custom sweeps (sort-spill maps,
+/// memory maps, buffer-pool maps).
+pub fn measure_plan(db: &Database, plan: &PlanSpec, cfg: &MeasureConfig) -> Measurement {
+    let session = cfg.session();
+    let ctx = ExecCtx::new(db, &session, cfg.memory_bytes);
+    let stats = execute_count(plan, &ctx).expect("measured plans must be well-formed");
+    Measurement {
+        seconds: stats.seconds,
+        io: stats.io,
+        rows: stats.rows_out,
+        spilled: stats.spilled,
+    }
+}
+
+/// Sweep single-predicate plans over a 1-D selectivity grid (Figures 1, 2).
+pub fn build_map1d(
+    w: &Workload,
+    plans: &[SinglePredPlan],
+    grid: &Grid1D,
+    cfg: &MeasureConfig,
+) -> Map1D {
+    let thresholds: Vec<(i64, u64)> =
+        grid.sels().iter().map(|&s| w.cal_a.threshold_with_count(s)).collect();
+    // Work item = (plan index, grid index).
+    let specs: Vec<(usize, usize, PlanSpec)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, plan)| {
+            thresholds
+                .iter()
+                .enumerate()
+                .map(move |(gi, &(t, _))| (pi, gi, plan.build(t)))
+        })
+        .collect();
+    let results = run_parallel(&w.db, &specs, cfg, plans.len(), grid.len());
+    let series = plans
+        .iter()
+        .enumerate()
+        .map(|(pi, plan)| Series {
+            plan: plan.name.clone(),
+            points: (0..grid.len()).map(|gi| results[pi * grid.len() + gi]).collect(),
+        })
+        .collect();
+    Map1D {
+        sels: grid.sels().to_vec(),
+        result_rows: thresholds.iter().map(|&(_, c)| c).collect(),
+        series,
+    }
+}
+
+/// Sweep two-predicate plans over a 2-D selectivity grid (Figures 4-10).
+pub fn build_map2d(
+    w: &Workload,
+    plans: &[TwoPredPlan],
+    grid: &Grid2D,
+    cfg: &MeasureConfig,
+) -> Map2D {
+    let ta: Vec<i64> = grid.sel_a().iter().map(|&s| w.cal_a.threshold(s)).collect();
+    let tb: Vec<i64> = grid.sel_b().iter().map(|&s| w.cal_b.threshold(s)).collect();
+    let (na, nb) = grid.dims();
+    let specs: Vec<(usize, usize, PlanSpec)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, plan)| {
+            let ta = &ta;
+            let tb = &tb;
+            (0..na).flat_map(move |ia| {
+                (0..nb).map(move |ib| (pi, ia * nb + ib, plan.build(ta[ia], tb[ib])))
+            })
+        })
+        .collect();
+    let cells = na * nb;
+    let results = run_parallel(&w.db, &specs, cfg, plans.len(), cells);
+    let data: Vec<Vec<Measurement>> = plans
+        .iter()
+        .enumerate()
+        .map(|(pi, _)| results[pi * cells..(pi + 1) * cells].to_vec())
+        .collect();
+    Map2D::new(
+        grid.sel_a().to_vec(),
+        grid.sel_b().to_vec(),
+        plans.iter().map(|p| p.name.clone()).collect(),
+        data,
+    )
+}
+
+/// Execute all work items across worker threads.  Returns a dense
+/// plan-major result vector: slot `pi * cells + cell` holds the measurement
+/// of work item `(pi, cell, _)`.  Deterministic: cell results do not depend
+/// on scheduling, because every execution has a private session.
+fn run_parallel(
+    db: &Database,
+    specs: &[(usize, usize, PlanSpec)],
+    cfg: &MeasureConfig,
+    plan_count: usize,
+    cells: usize,
+) -> Vec<Measurement> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let total_slots = plan_count * cells;
+    let mut results = vec![Measurement::default(); total_slots];
+    let threads = cfg.effective_threads(specs.len());
+    if threads <= 1 {
+        for (pi, cell, spec) in specs {
+            results[pi * cells + cell] = measure_plan(db, spec, cfg);
+        }
+        return results;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Measurement)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((pi, cell, spec)) = specs.get(i) else { break };
+                let m = measure_plan(db, spec, cfg);
+                tx.send((pi * cells + cell, m)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (slot, m) in rx {
+            results[slot] = m;
+        }
+    })
+    .expect("measurement worker panicked");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustmap_systems::{
+        single_predicate_plans, two_predicate_plans, SinglePredPlanSet, SystemId,
+    };
+    use robustmap_workload::{TableBuilder, WorkloadConfig};
+
+    fn quick_cfg(threads: usize) -> MeasureConfig {
+        MeasureConfig { threads, ..Default::default() }
+    }
+
+    #[test]
+    fn map1d_has_expected_shape_and_counts() {
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
+        let grid = Grid1D::pow2(6);
+        let map = build_map1d(&w, &plans, &grid, &quick_cfg(2));
+        assert_eq!(map.len(), 7);
+        assert_eq!(map.series.len(), 3);
+        // Result sizes double along the axis.
+        for win in map.result_rows.windows(2) {
+            assert_eq!(win[1], win[0] * 2);
+        }
+        // Every plan agrees on row counts at every point.
+        for s in &map.series {
+            for (i, p) in s.points.iter().enumerate() {
+                assert_eq!(p.rows, map.result_rows[i], "{} point {i}", s.plan);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_maps_are_identical() {
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let grid = Grid2D::pow2(3);
+        let serial = build_map2d(&w, &plans, &grid, &quick_cfg(1));
+        let parallel = build_map2d(&w, &plans, &grid, &quick_cfg(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn table_scan_series_is_flat() {
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
+        let grid = Grid1D::pow2(8);
+        let map = build_map1d(&w, &plans, &grid, &quick_cfg(0));
+        let scan = map.series_named("table scan").unwrap();
+        let secs = scan.seconds();
+        let (lo, hi) = secs.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &s| (l.min(s), h.max(s)));
+        // Constant within CPU noise of the predicate/projection work.
+        assert!(hi / lo < 1.2, "table scan varies: {lo} .. {hi}");
+    }
+
+    #[test]
+    fn measure_plan_reports_spills() {
+        use robustmap_executor::{PlanSpec, Predicate, Projection, SpillMode};
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plan = PlanSpec::Sort {
+            input: Box::new(PlanSpec::TableScan {
+                table: w.table,
+                pred: Predicate::always_true(),
+                project: Projection::All,
+            }),
+            key_cols: vec![0],
+            mode: SpillMode::Abrupt,
+            memory_bytes: 4096,
+        };
+        let m = measure_plan(&w.db, &plan, &MeasureConfig::default());
+        assert!(m.spilled);
+        assert!(m.io.page_writes > 0);
+        assert_eq!(m.rows, w.rows());
+    }
+}

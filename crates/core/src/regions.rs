@@ -1,0 +1,243 @@
+//! Regions of optimality: size, shape, and contiguity.
+//!
+//! §3.4 of the paper: "The most interesting aspects of these maps would be
+//! the size and the shape of each plan's optimality region.  Ideally, these
+//! regions would be continuous, simple shapes. ... it might be interesting
+//! to focus on irregular shapes of optimality regions — chances are good
+//! that some implementation idiosyncrasy rather than the algorithm itself
+//! causes the irregular shape."
+//!
+//! This module quantifies that: connected components (4-connectivity) of a
+//! boolean grid, their area and perimeter, and an isoperimetric
+//! irregularity measure.
+
+/// A boolean grid over a 2-D parameter space (`ia`-major).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolGrid {
+    width: usize,  // |a|
+    height: usize, // |b|
+    cells: Vec<bool>,
+}
+
+impl BoolGrid {
+    /// An all-false grid of the given dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        BoolGrid { width, height, cells: vec![false; width * height] }
+    }
+
+    /// Build from a predicate over `(ia, ib)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut g = Self::new(width, height);
+        for ia in 0..width {
+            for ib in 0..height {
+                g.set(ia, ib, f(ia, ib));
+            }
+        }
+        g
+    }
+
+    /// Grid dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Value at `(ia, ib)`.
+    #[inline]
+    pub fn get(&self, ia: usize, ib: usize) -> bool {
+        self.cells[ia * self.height + ib]
+    }
+
+    /// Set `(ia, ib)`.
+    #[inline]
+    pub fn set(&mut self, ia: usize, ib: usize, v: bool) {
+        self.cells[ia * self.height + ib] = v;
+    }
+
+    /// Number of true cells.
+    pub fn count(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// Fraction of true cells.
+    pub fn fraction(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.count() as f64 / self.cells.len() as f64
+    }
+}
+
+/// One connected component of true cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Member cells as `(ia, ib)` pairs, sorted.
+    pub cells: Vec<(usize, usize)>,
+    /// Number of cells.
+    pub area: usize,
+    /// Boundary edge count (edges to false cells or the grid border).
+    pub perimeter: usize,
+}
+
+impl Region {
+    /// Isoperimetric irregularity: `perimeter^2 / (16 * area)`, normalised
+    /// so a square region scores 1.0; elongated or ragged regions score
+    /// higher.
+    pub fn irregularity(&self) -> f64 {
+        if self.area == 0 {
+            return 0.0;
+        }
+        (self.perimeter * self.perimeter) as f64 / (16.0 * self.area as f64)
+    }
+}
+
+/// Connected components of the true cells under 4-connectivity, largest
+/// first.
+pub fn connected_components(grid: &BoolGrid) -> Vec<Region> {
+    let (w, h) = grid.dims();
+    let mut visited = BoolGrid::new(w, h);
+    let mut regions = Vec::new();
+    for start_a in 0..w {
+        for start_b in 0..h {
+            if !grid.get(start_a, start_b) || visited.get(start_a, start_b) {
+                continue;
+            }
+            // BFS flood fill.
+            let mut cells = Vec::new();
+            let mut perimeter = 0usize;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back((start_a, start_b));
+            visited.set(start_a, start_b, true);
+            while let Some((a, b)) = queue.pop_front() {
+                cells.push((a, b));
+                let neighbours = [
+                    (a.wrapping_sub(1), b),
+                    (a + 1, b),
+                    (a, b.wrapping_sub(1)),
+                    (a, b + 1),
+                ];
+                for (na, nb) in neighbours {
+                    if na >= w || nb >= h || !grid.get(na, nb) {
+                        perimeter += 1;
+                        continue;
+                    }
+                    if !visited.get(na, nb) {
+                        visited.set(na, nb, true);
+                        queue.push_back((na, nb));
+                    }
+                }
+            }
+            cells.sort_unstable();
+            regions.push(Region { area: cells.len(), cells, perimeter });
+        }
+    }
+    regions.sort_by_key(|r| std::cmp::Reverse(r.area));
+    regions
+}
+
+/// Summary statistics of a plan's optimality region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Number of connected components ("this region is not continuous,
+    /// which is rather surprising" — Figure 7).
+    pub component_count: usize,
+    /// Total true cells.
+    pub total_area: usize,
+    /// Cells in the largest component.
+    pub largest_area: usize,
+    /// Fraction of the whole grid covered.
+    pub coverage: f64,
+    /// Irregularity of the largest component (1.0 = square).
+    pub largest_irregularity: f64,
+}
+
+impl RegionStats {
+    /// Compute stats for a boolean grid.
+    pub fn of(grid: &BoolGrid) -> RegionStats {
+        let regions = connected_components(grid);
+        let largest = regions.first();
+        RegionStats {
+            component_count: regions.len(),
+            total_area: grid.count(),
+            largest_area: largest.map_or(0, |r| r.area),
+            coverage: grid.fraction(),
+            largest_irregularity: largest.map_or(0.0, Region::irregularity),
+        }
+    }
+
+    /// Whether the region is one contiguous piece (or empty).
+    pub fn is_contiguous(&self) -> bool {
+        self.component_count <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_from(rows: &[&str]) -> BoolGrid {
+        // rows[ib reversed] of '#'/'.' strings, width = row length.
+        let h = rows.len();
+        let w = rows[0].len();
+        BoolGrid::from_fn(w, h, |ia, ib| rows[h - 1 - ib].as_bytes()[ia] == b'#')
+    }
+
+    #[test]
+    fn empty_grid_has_no_regions() {
+        let g = BoolGrid::new(4, 4);
+        assert!(connected_components(&g).is_empty());
+        let stats = RegionStats::of(&g);
+        assert_eq!(stats.component_count, 0);
+        assert!(stats.is_contiguous());
+        assert_eq!(stats.coverage, 0.0);
+    }
+
+    #[test]
+    fn single_square_region() {
+        let g = grid_from(&["....", ".##.", ".##.", "...."]);
+        let regions = connected_components(&g);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].area, 4);
+        assert_eq!(regions[0].perimeter, 8);
+        assert!((regions[0].irregularity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_cells_are_separate_components() {
+        let g = grid_from(&["#.", ".#"]);
+        let regions = connected_components(&g);
+        assert_eq!(regions.len(), 2);
+        assert!(!RegionStats::of(&g).is_contiguous());
+    }
+
+    #[test]
+    fn l_shape_is_more_irregular_than_square() {
+        let square = grid_from(&["##", "##"]);
+        let line = grid_from(&["####", "....", "....", "...."]);
+        let sq = connected_components(&square)[0].irregularity();
+        let ln = connected_components(&line)[0].irregularity();
+        assert!(ln > sq, "line {ln} should exceed square {sq}");
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let g = grid_from(&["##..", "##..", "....", "...#"]);
+        let regions = connected_components(&g);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].area, 4);
+        assert_eq!(regions[1].area, 1);
+        let stats = RegionStats::of(&g);
+        assert_eq!(stats.largest_area, 4);
+        assert_eq!(stats.total_area, 5);
+        assert_eq!(stats.component_count, 2);
+    }
+
+    #[test]
+    fn full_grid_is_one_region_touching_borders() {
+        let g = BoolGrid::from_fn(3, 3, |_, _| true);
+        let regions = connected_components(&g);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].area, 9);
+        assert_eq!(regions[0].perimeter, 12); // grid border only
+        assert_eq!(RegionStats::of(&g).coverage, 1.0);
+    }
+}

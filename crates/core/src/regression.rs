@@ -1,0 +1,279 @@
+//! The robustness regression benchmark (paper §4).
+//!
+//! "This benchmark will identify weaknesses in the algorithms and their
+//! implementation, track progress against these weaknesses, and permit
+//! daily regression testing in order to protect the progress against
+//! accidental regression due to other, seemingly unrelated, software
+//! changes."
+//!
+//! A [`RegressionSuite`] runs named checks over measured maps and reports
+//! pass/fail with details — the artifact a CI job would gate on.  The
+//! standard checks encode the paper's reading rules: monotone cost curves,
+//! flattening, no unexplained discontinuities, bounded worst-case
+//! quotients, contiguous optimality regions.
+
+use crate::analysis::discontinuity::detect_discontinuities;
+use crate::analysis::flattening::flattening_violations;
+use crate::analysis::monotonicity::monotonicity_violations;
+use crate::map::{Map1D, Map2D};
+use crate::regions::RegionStats;
+use crate::relative::{OptimalityTolerance, RelativeMap2D};
+
+/// Thresholds for the standard checks.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Relative cost decrease tolerated before a monotonicity violation is
+    /// flagged (measurement jitter allowance).
+    pub monotonicity_tolerance: f64,
+    /// Slope-growth factor tolerated before flattening is violated.
+    pub flattening_tolerance: f64,
+    /// Cost-jump factor (relative to work growth) that counts as a
+    /// discontinuity.
+    pub discontinuity_factor: f64,
+    /// Largest acceptable worst-case quotient for a plan advertised as
+    /// robust.
+    pub max_worst_quotient: f64,
+    /// Optimality tolerance used for region-contiguity checks.
+    pub region_tolerance: OptimalityTolerance,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            monotonicity_tolerance: 0.05,
+            flattening_tolerance: 2.0,
+            discontinuity_factor: 8.0,
+            max_worst_quotient: 100.0,
+            region_tolerance: OptimalityTolerance::Factor(1.2),
+        }
+    }
+}
+
+/// Outcome of one named check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Check identifier, e.g. `"monotone: improved index scan"`.
+    pub name: String,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Human-readable findings (empty when passed without remarks).
+    pub details: String,
+}
+
+/// A collection of check results with a pass/fail summary.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionSuite {
+    /// All results, in execution order.
+    pub results: Vec<CheckResult>,
+}
+
+impl RegressionSuite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.passed).count()
+    }
+
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    fn push(&mut self, name: String, passed: bool, details: String) {
+        self.results.push(CheckResult { name, passed, details });
+    }
+
+    /// Run the 1-D checks on every series of a map: monotonicity and
+    /// discontinuities (flattening is reported but informational, since
+    /// the paper *expects* some plans to fail it).
+    pub fn check_map1d(&mut self, map: &Map1D, cfg: &CheckConfig) {
+        let work: Vec<f64> = map.result_rows.iter().map(|&r| (r.max(1)) as f64).collect();
+        for series in &map.series {
+            let secs = series.seconds();
+            let monos = monotonicity_violations(&work, &secs, cfg.monotonicity_tolerance);
+            self.push(
+                format!("monotone: {}", series.plan),
+                monos.is_empty(),
+                if monos.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} cost dip(s), worst {:.1}%", monos.len(), monos
+                        .iter()
+                        .map(|v| v.drop)
+                        .fold(0.0f64, f64::max)
+                        * 100.0)
+                },
+            );
+            let cliffs = detect_discontinuities(&work, &secs, cfg.discontinuity_factor);
+            self.push(
+                format!("continuous: {}", series.plan),
+                cliffs.is_empty(),
+                if cliffs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} cliff(s), worst {:.0}x", cliffs.len(), cliffs
+                        .iter()
+                        .map(|d| d.cost_ratio)
+                        .fold(0.0f64, f64::max))
+                },
+            );
+            let flats = flattening_violations(&work, &secs, cfg.flattening_tolerance);
+            self.push(
+                format!("flattening (informational): {}", series.plan),
+                true, // informational: the paper expects e.g. Figure 1 to fail
+                if flats.is_empty() {
+                    String::new()
+                } else {
+                    format!("steepens at {} segment(s)", flats.len())
+                },
+            );
+        }
+    }
+
+    /// Run the 2-D checks: per-plan worst quotient and region contiguity,
+    /// plus the global every-cell-has-an-optimum invariant.
+    pub fn check_map2d(&mut self, map: &Map2D, robust_plans: &[&str], cfg: &CheckConfig) {
+        let rel = RelativeMap2D::from_map(map);
+        for (p, name) in rel.plans.iter().enumerate() {
+            let worst = rel.worst_quotient(p);
+            if robust_plans.iter().any(|r| name.starts_with(r)) {
+                self.push(
+                    format!("bounded worst case: {name}"),
+                    worst <= cfg.max_worst_quotient,
+                    format!("worst quotient {worst:.1}x (limit {:.0}x)", cfg.max_worst_quotient),
+                );
+            }
+            let stats = RegionStats::of(&rel.optimal_region(p, cfg.region_tolerance));
+            self.push(
+                format!("contiguous optimality region: {name}"),
+                stats.is_contiguous(),
+                if stats.is_contiguous() {
+                    String::new()
+                } else {
+                    format!(
+                        "{} components (largest {} of {} cells) — §3.4: suspect an \
+                         implementation idiosyncrasy",
+                        stats.component_count, stats.largest_area, stats.total_area
+                    )
+                },
+            );
+        }
+    }
+
+    /// Plain-text report (one line per check).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "[{}] {}{}\n",
+                if r.passed { "PASS" } else { "FAIL" },
+                r.name,
+                if r.details.is_empty() { String::new() } else { format!(" — {}", r.details) }
+            ));
+        }
+        out.push_str(&format!(
+            "{} checks, {} failed\n",
+            self.results.len(),
+            self.failures()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Series;
+    use crate::measure::Measurement;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, ..Default::default() }
+    }
+
+    fn map1d(series: Vec<(&str, Vec<f64>)>) -> Map1D {
+        let n = series[0].1.len();
+        Map1D {
+            sels: (1..=n).map(|i| i as f64 / n as f64).collect(),
+            result_rows: (1..=n).map(|i| (i * i) as u64).collect(),
+            series: series
+                .into_iter()
+                .map(|(name, secs)| Series {
+                    plan: name.into(),
+                    points: secs.into_iter().map(m).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_map_passes() {
+        let map = map1d(vec![("good", vec![1.0, 1.5, 2.0, 2.5])]);
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        assert!(suite.passed(), "{}", suite.report());
+    }
+
+    #[test]
+    fn cost_dip_fails_monotonicity() {
+        let map = map1d(vec![("dippy", vec![1.0, 3.0, 0.5, 4.0])]);
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        assert!(!suite.passed());
+        let fail = suite.results.iter().find(|r| !r.passed).unwrap();
+        assert!(fail.name.contains("monotone"));
+        assert!(fail.details.contains("dip"));
+    }
+
+    #[test]
+    fn spill_cliff_fails_continuity() {
+        let map = map1d(vec![("cliffy", vec![0.001, 0.002, 1.0, 1.1])]);
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        assert!(suite.results.iter().any(|r| !r.passed && r.name.contains("continuous")));
+    }
+
+    #[test]
+    fn flattening_is_informational_only() {
+        // Steepening tail (Figure 1's improved scan): reported, not failed.
+        let map = map1d(vec![("steep tail", vec![1.0, 1.1, 1.2, 9.0])]);
+        let mut suite = RegressionSuite::new();
+        let cfg = CheckConfig { discontinuity_factor: 1e9, ..Default::default() };
+        suite.check_map1d(&map, &cfg);
+        assert!(suite.passed(), "{}", suite.report());
+        let flat = suite.results.iter().find(|r| r.name.contains("flattening")).unwrap();
+        assert!(flat.details.contains("steepens"));
+    }
+
+    #[test]
+    fn map2d_checks_worst_case_and_contiguity() {
+        // Plan "robust" stays within 2x; plan "wild" hits 1000x and has a
+        // split optimality region.
+        let robust = vec![m(2.0), m(2.0), m(2.0), m(2.0), m(2.0), m(2.0), m(2.0), m(2.0), m(2.0)];
+        let wild = vec![m(1.0), m(3.0), m(1.0), m(3.0), m(3.0), m(3.0), m(1.0), m(3.0), m(2000.0)];
+        let map = Map2D::new(
+            vec![0.25, 0.5, 1.0],
+            vec![0.25, 0.5, 1.0],
+            vec!["robust".into(), "wild".into()],
+            vec![robust, wild],
+        );
+        let mut suite = RegressionSuite::new();
+        suite.check_map2d(&map, &["robust"], &CheckConfig::default());
+        assert!(suite
+            .results
+            .iter()
+            .any(|r| r.passed && r.name == "bounded worst case: robust"));
+        // "wild" is not in the robust set, so no worst-case gate for it,
+        // but its region contiguity is still reported.
+        assert!(suite
+            .results
+            .iter()
+            .any(|r| r.name == "contiguous optimality region: wild" && !r.passed));
+        let report = suite.report();
+        assert!(report.contains("FAIL"));
+        assert!(report.contains("idiosyncrasy"));
+    }
+}

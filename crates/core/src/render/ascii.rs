@@ -1,0 +1,216 @@
+//! Terminal rendering: ANSI heat maps and plain-text series tables.
+//!
+//! `render_map2d_ansi` draws one plan's 2-D map as a colored cell grid with
+//! axis labels and the bucket legend — the terminal equivalent of the
+//! paper's Figures 4-9.  With `ansi: false` it falls back to the bucket's
+//! index character, which is also what tests assert against.
+
+use crate::map::Map1D;
+use crate::render::color::ColorScale;
+
+/// Options for terminal rendering.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Emit ANSI 256-color escapes (false = plain characters).
+    pub ansi: bool,
+    /// Cell width in characters.
+    pub cell_width: usize,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions { ansi: true, cell_width: 2 }
+    }
+}
+
+/// Characters for plain (non-ANSI) rendering, light to dark.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Render an ia-major `grid` of values over axes `sel_a` (x) and `sel_b`
+/// (y, printed top = high) as a heat map under `scale`.
+pub fn render_map2d_ansi(
+    grid: &[f64],
+    sel_a: &[f64],
+    sel_b: &[f64],
+    scale: &ColorScale,
+    title: &str,
+    opts: &AsciiOptions,
+) -> String {
+    assert_eq!(grid.len(), sel_a.len() * sel_b.len(), "grid size mismatch");
+    let (na, nb) = (sel_a.len(), sel_b.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    // Rows from high sel_b down to low, so the origin is bottom-left.
+    for ib in (0..nb).rev() {
+        out.push_str(&format!("{:>9.3e} |", sel_b[ib]));
+        for ia in 0..na {
+            let v = grid[ia * nb + ib];
+            let bucket = scale.bucket_of(v);
+            if opts.ansi {
+                let color = scale.color_of(v).ansi256();
+                out.push_str(&format!(
+                    "\x1b[48;5;{}m{}\x1b[0m",
+                    color,
+                    " ".repeat(opts.cell_width)
+                ));
+            } else {
+                let ch = SHADES[bucket * (SHADES.len() - 1) / (scale.buckets().len() - 1).max(1)]
+                    as char;
+                out.push_str(&ch.to_string().repeat(opts.cell_width));
+            }
+        }
+        out.push('\n');
+    }
+    // X axis: min and max labels.
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>9}  {:<width$.3e}{:>rem$.3e}\n",
+        "",
+        "-".repeat(na * opts.cell_width),
+        "",
+        sel_a[0],
+        sel_a[na - 1],
+        width = (na * opts.cell_width).saturating_sub(9).max(1),
+        rem = 9,
+    ));
+    out.push_str(&legend(scale, opts));
+    out
+}
+
+fn legend(scale: &ColorScale, opts: &AsciiOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("legend ({}):\n", scale.title));
+    for (i, b) in scale.buckets().iter().enumerate() {
+        if opts.ansi {
+            out.push_str(&format!(
+                "  \x1b[48;5;{}m  \x1b[0m {}\n",
+                b.color.ansi256(),
+                b.label
+            ));
+        } else {
+            let ch = SHADES[i * (SHADES.len() - 1) / (scale.buckets().len() - 1).max(1)] as char;
+            out.push_str(&format!("  {}{} {}\n", ch, ch, b.label));
+        }
+    }
+    out
+}
+
+/// Render a 1-D map as a plain-text table: one row per axis point, one
+/// column per plan — the same numbers Figure 1 plots.  Values are
+/// unit-less (they may be seconds or quotients; the title says which).
+pub fn render_map1d_table(map: &Map1D, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>12} {:>12}", "selectivity", "rows"));
+    for s in &map.series {
+        out.push_str(&format!(" {:>26}", truncate(&s.plan, 26)));
+    }
+    out.push('\n');
+    for i in 0..map.len() {
+        out.push_str(&format!("{:>12.3e} {:>12}", map.sels[i], map.result_rows[i]));
+        for s in &map.series {
+            out.push_str(&format!(" {:>26} ", format_value(s.points[i].seconds)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+fn format_value(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Series;
+    use crate::measure::Measurement;
+    use crate::render::color::{absolute_scale, relative_scale};
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, ..Default::default() }
+    }
+
+    #[test]
+    fn plain_heatmap_shapes_and_shades() {
+        // 2x2 grid: low costs bottom-left, high top-right.
+        let grid = vec![0.005, 5.0, 0.5, 500.0]; // ia-major: (0,0),(0,1),(1,0),(1,1)
+        let s = render_map2d_ansi(
+            &grid,
+            &[0.5, 1.0],
+            &[0.5, 1.0],
+            &absolute_scale(),
+            "test map",
+            &AsciiOptions { ansi: false, cell_width: 1 },
+        );
+        assert!(s.starts_with("test map\n"));
+        // Two data rows, a separator, an axis row and a legend.
+        assert!(s.contains("legend"));
+        assert!(s.contains("0.001-0.01 seconds"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Top row = high sel_b: 5.0 is bucket 3 (shade '+'), 500.0 is
+        // bucket 5 (shade '@').
+        assert!(lines[1].contains('+'), "top row: {:?}", lines[1]);
+        assert!(lines[1].contains('@'), "top row: {:?}", lines[1]);
+    }
+
+    #[test]
+    fn ansi_heatmap_contains_escapes() {
+        let grid = vec![1.0];
+        let s = render_map2d_ansi(
+            &grid,
+            &[1.0],
+            &[1.0],
+            &relative_scale(),
+            "t",
+            &AsciiOptions::default(),
+        );
+        assert!(s.contains("\x1b[48;5;"));
+        assert!(s.contains("Factor 1"));
+    }
+
+    #[test]
+    fn map1d_table_lists_all_plans() {
+        let map = Map1D {
+            sels: vec![0.25, 1.0],
+            result_rows: vec![4, 16],
+            series: vec![
+                Series { plan: "scan".into(), points: vec![m(0.5), m(0.5)] },
+                Series { plan: "fetch".into(), points: vec![m(0.001), m(2.0)] },
+            ],
+        };
+        let t = render_map1d_table(&map, "fig");
+        assert!(t.contains("scan"));
+        assert!(t.contains("fetch"));
+        assert!(t.contains("16"));
+        assert_eq!(t.lines().count(), 4); // title + header + 2 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size mismatch")]
+    fn wrong_grid_size_panics() {
+        render_map2d_ansi(
+            &[1.0, 2.0],
+            &[1.0],
+            &[1.0],
+            &absolute_scale(),
+            "t",
+            &AsciiOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Color scales: Figures 3 and 6.
+//!
+//! "Figure 3 shows the mapping from elapsed times to colors in the
+//! following maps, from green to red and finally black (light gray to
+//! black in monochrome) with each color difference indicating an order of
+//! magnitude."  Figure 6 is the analogue for relative factors: factor 1
+//! (light green) through factor 100,000 (black).
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    /// Red.
+    pub r: u8,
+    /// Green.
+    pub g: u8,
+    /// Blue.
+    pub b: u8,
+}
+
+impl Color {
+    /// CSS hex form (`#rrggbb`).
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Nearest xterm-256 color index (6x6x6 cube region), for ANSI output.
+    pub fn ansi256(&self) -> u8 {
+        let q = |v: u8| -> u8 {
+            if v < 48 {
+                0
+            } else if v < 115 {
+                1
+            } else {
+                ((v as u16 - 35) / 40).min(5) as u8
+            }
+        };
+        16 + 36 * q(self.r) + 6 * q(self.g) + q(self.b)
+    }
+}
+
+/// One bucket of a scale: values in `[lo, hi)` get `color`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// The bucket's color.
+    pub color: Color,
+    /// Legend label, e.g. `"0.01-0.1 seconds"` or `"Factor 10-100"`.
+    pub label: String,
+}
+
+/// An ordered bucket scale (order-of-magnitude steps, as in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorScale {
+    buckets: Vec<Bucket>,
+    /// Scale title for legends.
+    pub title: String,
+}
+
+impl ColorScale {
+    /// The buckets, ascending.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Color for a value: the containing bucket, clamped at the ends.
+    pub fn color_of(&self, value: f64) -> Color {
+        let first = self.buckets.first().expect("scale has buckets");
+        if value < first.lo {
+            return first.color;
+        }
+        for b in &self.buckets {
+            if value < b.hi {
+                return b.color;
+            }
+        }
+        self.buckets.last().expect("scale has buckets").color
+    }
+
+    /// Index of the bucket a value falls into (clamped).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        for (i, b) in self.buckets.iter().enumerate() {
+            if value < b.hi {
+                return i;
+            }
+        }
+        self.buckets.len() - 1
+    }
+}
+
+/// The paper's green→red→black ramp with `n` steps.
+fn ramp(n: usize) -> Vec<Color> {
+    // Anchor colors: light green, yellow, orange, red, dark red, black.
+    let anchors = [
+        Color { r: 0x7f, g: 0xd4, b: 0x4c },
+        Color { r: 0xd9, g: 0xd9, b: 0x28 },
+        Color { r: 0xe8, g: 0x9c, b: 0x1e },
+        Color { r: 0xd6, g: 0x3a, b: 0x2a },
+        Color { r: 0x7a, g: 0x12, b: 0x12 },
+        Color { r: 0x10, g: 0x10, b: 0x10 },
+    ];
+    (0..n)
+        .map(|i| {
+            let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let pos = t * (anchors.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(anchors.len() - 1);
+            let frac = pos - lo as f64;
+            let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * frac).round() as u8;
+            Color {
+                r: mix(anchors[lo].r, anchors[hi].r),
+                g: mix(anchors[lo].g, anchors[hi].g),
+                b: mix(anchors[lo].b, anchors[hi].b),
+            }
+        })
+        .collect()
+}
+
+/// Figure 3: absolute elapsed times, decade buckets from 0.001s to 1000s.
+pub fn absolute_scale() -> ColorScale {
+    let bounds = [1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0];
+    let colors = ramp(6);
+    let labels = [
+        "0.001-0.01 seconds",
+        "0.01-0.1 seconds",
+        "0.1-1 seconds",
+        "1-10 seconds",
+        "10-100 seconds",
+        "100-1000 seconds",
+    ];
+    ColorScale {
+        title: "Execution time".to_string(),
+        buckets: (0..6)
+            .map(|i| Bucket {
+                lo: bounds[i],
+                hi: bounds[i + 1],
+                color: colors[i],
+                label: labels[i].to_string(),
+            })
+            .collect(),
+    }
+}
+
+/// Figure 6: quotients vs. the best plan, decade buckets from factor 1 to
+/// factor 100,000.
+pub fn relative_scale() -> ColorScale {
+    let bounds = [1.0, 1.0 + 1e-9, 10.0, 100.0, 1000.0, 10_000.0, 100_000.0];
+    let colors = ramp(6);
+    let labels = [
+        "Factor 1",
+        "Factor 1-10",
+        "Factor 10-100",
+        "Factor 100-1,000",
+        "Factor 1,000-10,000",
+        "Factor 10,000-100,000",
+    ];
+    ColorScale {
+        title: "Cost factor vs. best plan".to_string(),
+        buckets: (0..6)
+            .map(|i| Bucket {
+                lo: bounds[i],
+                hi: bounds[i + 1],
+                color: colors[i],
+                label: labels[i].to_string(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_scale_has_six_decades() {
+        let s = absolute_scale();
+        assert_eq!(s.buckets().len(), 6);
+        assert_eq!(s.bucket_of(0.005), 0);
+        assert_eq!(s.bucket_of(0.5), 2);
+        assert_eq!(s.bucket_of(500.0), 5);
+        // Clamping.
+        assert_eq!(s.bucket_of(1e-9), 0);
+        assert_eq!(s.bucket_of(1e9), 5);
+    }
+
+    #[test]
+    fn relative_scale_isolates_factor_one() {
+        let s = relative_scale();
+        assert_eq!(s.bucket_of(1.0), 0);
+        assert_eq!(s.bucket_of(1.5), 1);
+        assert_eq!(s.bucket_of(99.0), 2);
+        assert_eq!(s.bucket_of(101_000.0), 5);
+    }
+
+    #[test]
+    fn ramp_goes_green_to_black() {
+        let s = absolute_scale();
+        let first = s.buckets().first().unwrap().color;
+        let last = s.buckets().last().unwrap().color;
+        assert!(first.g > first.r, "first bucket should be green-ish: {first:?}");
+        assert!(last.r < 0x40 && last.g < 0x40 && last.b < 0x40, "last should be near black");
+    }
+
+    #[test]
+    fn hex_and_ansi() {
+        let c = Color { r: 255, g: 0, b: 16 };
+        assert_eq!(c.hex(), "#ff0010");
+        let a = c.ansi256();
+        assert!((16..=231).contains(&a));
+    }
+
+    #[test]
+    fn colors_monotonically_darken_in_green_channel_tail() {
+        let s = absolute_scale();
+        let greens: Vec<u8> = s.buckets().iter().map(|b| b.color.g).collect();
+        // The tail of the ramp must lose green (toward red/black).
+        assert!(greens[5] < greens[0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! CSV export for external plotting tools.
+//!
+//! Plain `written-by-hand` CSV: no quoting is needed because plan names are
+//! sanitised (commas replaced) and all other fields are numeric.
+
+use crate::map::{Map1D, Map2D};
+use crate::relative::RelativeMap2D;
+
+fn sanitize(name: &str) -> String {
+    name.replace(',', ";")
+}
+
+/// `selectivity,rows,<plan...>` with one row per axis point (seconds).
+pub fn map1d_to_csv(map: &Map1D) -> String {
+    let mut out = String::from("selectivity,rows");
+    for s in &map.series {
+        out.push(',');
+        out.push_str(&sanitize(&s.plan));
+    }
+    out.push('\n');
+    for i in 0..map.len() {
+        out.push_str(&format!("{:e},{}", map.sels[i], map.result_rows[i]));
+        for s in &map.series {
+            out.push_str(&format!(",{:e}", s.points[i].seconds));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Long form: `plan,sel_a,sel_b,seconds,rows,seq_reads,single_reads,random_reads,page_writes,spilled`.
+pub fn map2d_to_csv(map: &Map2D) -> String {
+    let mut out = String::from(
+        "plan,sel_a,sel_b,seconds,rows,seq_reads,single_reads,random_reads,page_writes,spilled\n",
+    );
+    let (na, nb) = map.dims();
+    for p in 0..map.plan_count() {
+        let name = sanitize(&map.plans[p]);
+        for ia in 0..na {
+            for ib in 0..nb {
+                let m = map.get(p, ia, ib);
+                out.push_str(&format!(
+                    "{name},{:e},{:e},{:e},{},{},{},{},{},{}\n",
+                    map.sel_a[ia],
+                    map.sel_b[ib],
+                    m.seconds,
+                    m.rows,
+                    m.io.seq_reads,
+                    m.io.single_reads,
+                    m.io.random_reads,
+                    m.io.page_writes,
+                    m.spilled,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Long form quotients: `plan,sel_a,sel_b,quotient,best_plan`.
+pub fn quotients_to_csv(rel: &RelativeMap2D) -> String {
+    let mut out = String::from("plan,sel_a,sel_b,quotient,best_plan\n");
+    let (na, nb) = rel.dims();
+    for p in 0..rel.plans.len() {
+        let name = sanitize(&rel.plans[p]);
+        for ia in 0..na {
+            for ib in 0..nb {
+                out.push_str(&format!(
+                    "{name},{:e},{:e},{:e},{}\n",
+                    rel.sel_a[ia],
+                    rel.sel_b[ib],
+                    rel.quotient(p, ia, ib),
+                    sanitize(&rel.plans[rel.best_plan_at(ia, ib)]),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{Map2D, Series};
+    use crate::measure::Measurement;
+    use crate::relative::RelativeMap2D;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, rows: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn map1d_csv_shape() {
+        let map = Map1D {
+            sels: vec![0.5, 1.0],
+            result_rows: vec![2, 4],
+            series: vec![Series { plan: "a,b".into(), points: vec![m(1.0), m(2.0)] }],
+        };
+        let csv = map1d_to_csv(&map);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "selectivity,rows,a;b"); // comma sanitised
+        assert!(lines[1].starts_with("5e-1,2,"));
+    }
+
+    #[test]
+    fn map2d_csv_has_row_per_cell_per_plan() {
+        let data = vec![vec![m(1.0), m(2.0)], vec![m(3.0), m(4.0)]];
+        let map =
+            Map2D::new(vec![1.0], vec![0.5, 1.0], vec!["p0".into(), "p1".into()], data);
+        let csv = map2d_to_csv(&map);
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("p1,1e0,5e-1,3e0,7"));
+    }
+
+    #[test]
+    fn quotient_csv_names_best_plan() {
+        let data = vec![vec![m(1.0)], vec![m(2.0)]];
+        let map = Map2D::new(vec![1.0], vec![1.0], vec!["fast".into(), "slow".into()], data);
+        let rel = RelativeMap2D::from_map(&map);
+        let csv = quotients_to_csv(&rel);
+        assert!(csv.contains("slow,1e0,1e0,2e0,fast"));
+    }
+}

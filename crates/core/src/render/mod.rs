@@ -1,0 +1,18 @@
+//! Rendering robustness maps.
+//!
+//! The paper's visual language is order-of-magnitude color coding:
+//! Figure 3 maps absolute times (0.001s … 1000s) "from green to red and
+//! finally black ... with each color difference indicating an order of
+//! magnitude", and Figure 6 does the same for quotients (factor 1 …
+//! 100,000).  This module reproduces those scales and renders maps as ANSI
+//! terminal heat maps, SVG files, and CSV for external tooling.
+
+pub mod ascii;
+pub mod color;
+pub mod csv;
+pub mod svg;
+
+pub use ascii::{render_map1d_table, render_map2d_ansi, AsciiOptions};
+pub use color::{absolute_scale, relative_scale, Color, ColorScale};
+pub use csv::{map1d_to_csv, map2d_to_csv, quotients_to_csv};
+pub use svg::{heatmap_svg, line_plot_svg};

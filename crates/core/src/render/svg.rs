@@ -1,0 +1,269 @@
+//! SVG rendering: heat maps and log-log line plots.
+//!
+//! Hand-rolled SVG keeps the artifact dependency-free; output is plain
+//! `<rect>`/`<polyline>`/`<text>` elements that any browser renders.  The
+//! heat map reproduces the paper's Figures 4-9; the line plot its Figures
+//! 1-2 (log-log axes, one polyline per plan).
+
+use crate::map::Map1D;
+use crate::render::color::ColorScale;
+
+const CELL: f64 = 22.0;
+const MARGIN_LEFT: f64 = 90.0;
+const MARGIN_TOP: f64 = 40.0;
+const LEGEND_WIDTH: f64 = 230.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render an ia-major `grid` over `sel_a` × `sel_b` as an SVG heat map
+/// with the scale's legend.  Returns the SVG document as a string.
+pub fn heatmap_svg(
+    grid: &[f64],
+    sel_a: &[f64],
+    sel_b: &[f64],
+    scale: &ColorScale,
+    title: &str,
+) -> String {
+    assert_eq!(grid.len(), sel_a.len() * sel_b.len(), "grid size mismatch");
+    let (na, nb) = (sel_a.len(), sel_b.len());
+    let width = MARGIN_LEFT + na as f64 * CELL + LEGEND_WIDTH + 20.0;
+    let height = MARGIN_TOP + nb as f64 * CELL + 60.0;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{MARGIN_LEFT}\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        esc(title)
+    ));
+    // Cells: ib = 0 at the bottom.
+    for ia in 0..na {
+        for ib in 0..nb {
+            let v = grid[ia * nb + ib];
+            let x = MARGIN_LEFT + ia as f64 * CELL;
+            let y = MARGIN_TOP + (nb - 1 - ib) as f64 * CELL;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{CELL:.1}\" height=\"{CELL:.1}\" \
+                 fill=\"{}\"><title>sel_a={:.3e} sel_b={:.3e} value={v:.4}</title></rect>\n",
+                scale.color_of(v).hex(),
+                sel_a[ia],
+                sel_b[ib],
+            ));
+        }
+    }
+    // Axis labels (ends only, log-spaced grids are self-explanatory).
+    let y_axis = MARGIN_TOP + nb as f64 * CELL;
+    svg.push_str(&format!(
+        "<text x=\"{MARGIN_LEFT}\" y=\"{:.1}\">{:.1e}</text>\n",
+        y_axis + 16.0,
+        sel_a[0]
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{:.1e}</text>\n",
+        MARGIN_LEFT + na as f64 * CELL,
+        y_axis + 16.0,
+        sel_a[na - 1]
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{:.1e}</text>\n",
+        MARGIN_LEFT - 6.0,
+        y_axis,
+        sel_b[0]
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{:.1e}</text>\n",
+        MARGIN_LEFT - 6.0,
+        MARGIN_TOP + 12.0,
+        sel_b[nb - 1]
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\">selectivity a →</text>\n",
+        MARGIN_LEFT,
+        y_axis + 34.0
+    ));
+    // Legend.
+    let lx = MARGIN_LEFT + na as f64 * CELL + 24.0;
+    svg.push_str(&format!(
+        "<text x=\"{lx:.1}\" y=\"{:.1}\" font-weight=\"bold\">{}</text>\n",
+        MARGIN_TOP + 4.0,
+        esc(&scale.title)
+    ));
+    for (i, b) in scale.buckets().iter().enumerate() {
+        let ly = MARGIN_TOP + 14.0 + i as f64 * 18.0;
+        svg.push_str(&format!(
+            "<rect x=\"{lx:.1}\" y=\"{ly:.1}\" width=\"14\" height=\"14\" fill=\"{}\"/>\n",
+            b.color.hex()
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            lx + 20.0,
+            ly + 11.0,
+            esc(&b.label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Plot colors for line series.
+const SERIES_COLORS: &[&str] =
+    &["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"];
+
+/// Render a 1-D map as a log-log line plot (Figure 1/2 style): x =
+/// result rows, y = seconds, one polyline per plan.
+pub fn line_plot_svg(map: &Map1D, title: &str, y_label: &str) -> String {
+    let (w, h) = (640.0, 420.0);
+    let (ml, mr, mt, mb) = (70.0, 170.0, 40.0, 50.0);
+    let plot_w = w - ml - mr;
+    let plot_h = h - mt - mb;
+    let xs: Vec<f64> = map.result_rows.iter().map(|&r| (r.max(1)) as f64).collect();
+    let mut ys_all: Vec<f64> = Vec::new();
+    for s in &map.series {
+        for p in &s.points {
+            if p.seconds > 0.0 {
+                ys_all.push(p.seconds);
+            }
+        }
+    }
+    let (xmin, xmax) = (xs[0].min(1.0), xs[xs.len() - 1].max(2.0));
+    let ymin = ys_all.iter().copied().fold(f64::INFINITY, f64::min).max(1e-9);
+    let ymax = ys_all.iter().copied().fold(0.0f64, f64::max).max(ymin * 10.0);
+    let x_of = |v: f64| ml + (v.ln() - xmin.ln()) / (xmax.ln() - xmin.ln()) * plot_w;
+    let y_of = |v: f64| mt + plot_h - (v.ln() - ymin.ln()) / (ymax.ln() - ymin.ln()) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{ml}\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        esc(title)
+    ));
+    // Frame.
+    svg.push_str(&format!(
+        "<rect x=\"{ml}\" y=\"{mt}\" width=\"{plot_w}\" height=\"{plot_h}\" fill=\"none\" \
+         stroke=\"#888\"/>\n"
+    ));
+    // Decade grid lines on y.
+    let mut decade = 10f64.powf(ymin.log10().ceil());
+    while decade < ymax {
+        let y = y_of(decade);
+        svg.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n",
+            ml + plot_w
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{decade:.0e}</text>\n",
+            ml - 6.0,
+            y + 4.0
+        ));
+        decade *= 10.0;
+    }
+    // Series.
+    for (si, s) in map.series.iter().enumerate() {
+        let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+        let points: Vec<String> = s
+            .points
+            .iter()
+            .zip(&xs)
+            .filter(|(p, _)| p.seconds > 0.0)
+            .map(|(p, &x)| format!("{:.1},{:.1}", x_of(x), y_of(p.seconds)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            points.join(" ")
+        ));
+        let ly = mt + 10.0 + si as f64 * 16.0;
+        svg.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" stroke=\"{color}\" \
+             stroke-width=\"2\"/>\n",
+            w - mr + 8.0,
+            w - mr + 28.0
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            w - mr + 34.0,
+            ly + 4.0,
+            esc(&s.plan)
+        ));
+    }
+    // Axis captions.
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\">result rows (log)</text>\n",
+        ml + plot_w / 2.0 - 40.0,
+        h - 12.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"14\" y=\"{:.1}\" transform=\"rotate(-90 14 {:.1})\">{}</text>\n",
+        mt + plot_h / 2.0,
+        mt + plot_h / 2.0,
+        esc(y_label)
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Series;
+    use crate::measure::Measurement;
+    use crate::render::color::absolute_scale;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, ..Default::default() }
+    }
+
+    #[test]
+    fn heatmap_svg_is_well_formed() {
+        let grid = vec![0.01, 1.0, 10.0, 500.0];
+        let svg = heatmap_svg(&grid, &[0.5, 1.0], &[0.5, 1.0], &absolute_scale(), "Figure 4");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 4 + 6); // cells + legend
+        assert!(svg.contains("Figure 4"));
+        assert!(svg.contains("0.001-0.01 seconds"));
+        // Every open tag closes.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn heatmap_escapes_titles() {
+        let svg = heatmap_svg(&[1.0], &[1.0], &[1.0], &absolute_scale(), "a < b & c");
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn line_plot_has_one_polyline_per_plan() {
+        let map = Map1D {
+            sels: vec![0.25, 0.5, 1.0],
+            result_rows: vec![4, 8, 16],
+            series: vec![
+                Series { plan: "p1".into(), points: vec![m(1.0), m(1.0), m(1.0)] },
+                Series { plan: "p2".into(), points: vec![m(0.1), m(0.4), m(4.0)] },
+            ],
+        };
+        let svg = line_plot_svg(&map, "Figure 1", "seconds (log)");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("p1"));
+        assert!(svg.contains("p2"));
+        assert!(svg.contains("result rows"));
+    }
+
+    #[test]
+    fn zero_second_points_are_dropped_not_plotted() {
+        let map = Map1D {
+            sels: vec![0.5, 1.0],
+            result_rows: vec![1, 2],
+            series: vec![Series { plan: "p".into(), points: vec![m(0.0), m(1.0)] }],
+        };
+        let svg = line_plot_svg(&map, "t", "s");
+        // The polyline must have exactly one coordinate pair.
+        let poly = svg.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        assert_eq!(poly.split(' ').filter(|p| !p.is_empty()).count(), 1);
+    }
+}

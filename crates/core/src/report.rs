@@ -1,0 +1,179 @@
+//! Plain-text reports: the numbers behind each figure, printed.
+//!
+//! The benchmark harness prints these for every regenerated figure so the
+//! run's stdout alone documents the reproduction (series, landmarks,
+//! worst-case quotients, region statistics).
+
+use crate::analysis::landmarks::crossovers;
+use crate::analysis::score::RobustnessScore;
+use crate::map::Map1D;
+use crate::regions::RegionStats;
+use crate::relative::{OptimalityTolerance, RelativeMap2D};
+
+/// Landmark summary of a 1-D map: every pairwise crossover, in the terms
+/// the paper uses ("the break-even point ... is at about 2^-11 of the rows
+/// in the table").
+pub fn landmark_report(map: &Map1D) -> String {
+    let mut out = String::new();
+    out.push_str("landmarks (pairwise break-even points):\n");
+    let mut found = false;
+    for i in 0..map.series.len() {
+        for j in (i + 1)..map.series.len() {
+            let a = map.series[i].seconds();
+            let b = map.series[j].seconds();
+            for c in crossovers(&map.sels, &a, &b) {
+                found = true;
+                let winner =
+                    if c.a_wins_after { &map.series[i].plan } else { &map.series[j].plan };
+                out.push_str(&format!(
+                    "  {} vs {}: break-even at selectivity {:.3e} (~2^{:.1}); {} cheaper beyond\n",
+                    map.series[i].plan,
+                    map.series[j].plan,
+                    c.at,
+                    c.at.log2(),
+                    winner,
+                ));
+            }
+        }
+    }
+    if !found {
+        out.push_str("  none (one plan dominates every pair)\n");
+    }
+    out
+}
+
+/// Relative-performance summary of a 2-D map: per plan, worst quotient,
+/// coverage, and optimality-region shape — the quantities the paper reads
+/// off Figures 7-9.
+pub fn relative_report(rel: &RelativeMap2D) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>14} {:>9} {:>9} {:>8} {:>7} {:>7}\n",
+        "plan", "worst quotient", "<=2x", "<=10x", "opt.area", "regions", "irreg."
+    ));
+    for p in 0..rel.plans.len() {
+        let region = RegionStats::of(&rel.optimal_region(p, OptimalityTolerance::Factor(1.2)));
+        out.push_str(&format!(
+            "{:<28} {:>14.1} {:>8.1}% {:>8.1}% {:>7.1}% {:>7} {:>7.2}\n",
+            rel.plans[p],
+            rel.worst_quotient(p),
+            rel.area_within(p, 2.0) * 100.0,
+            rel.area_within(p, 10.0) * 100.0,
+            region.coverage * 100.0,
+            region.component_count,
+            region.largest_irregularity,
+        ));
+    }
+    out
+}
+
+/// Figure 10's observation as numbers: the distribution of how many plans
+/// are optimal per point, under the given tolerance.
+pub fn multi_optimal_report(rel: &RelativeMap2D, tol: OptimalityTolerance) -> String {
+    let counts = rel.optimal_plan_counts(tol);
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; max as usize + 1];
+    for &c in &counts {
+        histogram[c as usize] += 1;
+    }
+    let total = counts.len().max(1);
+    let multi = counts.iter().filter(|&&c| c >= 2).count();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "optimal plans per point (tolerance {tol:?}): {:.1}% of points have several\n",
+        multi as f64 / total as f64 * 100.0
+    ));
+    for (k, &n) in histogram.iter().enumerate().skip(1) {
+        if n > 0 {
+            out.push_str(&format!(
+                "  {k} optimal plan(s): {n} points ({:.1}%)\n",
+                n as f64 / total as f64 * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Robustness-benchmark leaderboard (§4): plans sorted by headline score.
+pub fn score_report(scores: &[RobustnessScore]) -> String {
+    let mut order: Vec<&RobustnessScore> = scores.iter().collect();
+    order.sort_by(|a, b| b.headline().partial_cmp(&a.headline()).expect("finite scores"));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>14} {:>7} {:>7} {:>7}\n",
+        "plan", "headline", "worst quotient", "<=2x", "disc.", "mono."
+    ));
+    for s in order {
+        out.push_str(&format!(
+            "{:<28} {:>9.3} {:>14.1} {:>6.1}% {:>7} {:>7}\n",
+            s.plan,
+            s.headline(),
+            s.worst_quotient,
+            s.area_within_2x * 100.0,
+            s.discontinuities,
+            s.monotonicity_violations,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{Map2D, Series};
+    use crate::measure::Measurement;
+
+    fn m(seconds: f64) -> Measurement {
+        Measurement { seconds, ..Default::default() }
+    }
+
+    #[test]
+    fn landmark_report_names_the_winner() {
+        let map = Map1D {
+            sels: vec![0.25, 0.5, 1.0],
+            result_rows: vec![1, 2, 4],
+            series: vec![
+                Series { plan: "scan".into(), points: vec![m(4.0), m(4.0), m(4.0)] },
+                Series { plan: "index".into(), points: vec![m(1.0), m(3.0), m(9.0)] },
+            ],
+        };
+        let r = landmark_report(&map);
+        assert!(r.contains("scan vs index"));
+        assert!(r.contains("scan cheaper beyond"));
+    }
+
+    #[test]
+    fn landmark_report_handles_domination() {
+        let map = Map1D {
+            sels: vec![0.5, 1.0],
+            result_rows: vec![1, 2],
+            series: vec![
+                Series { plan: "x".into(), points: vec![m(1.0), m(1.0)] },
+                Series { plan: "y".into(), points: vec![m(2.0), m(2.0)] },
+            ],
+        };
+        assert!(landmark_report(&map).contains("none"));
+    }
+
+    #[test]
+    fn relative_report_has_one_row_per_plan() {
+        let data = vec![vec![m(1.0), m(2.0)], vec![m(2.0), m(1.0)]];
+        let map =
+            Map2D::new(vec![1.0], vec![0.5, 1.0], vec!["p0".into(), "p1".into()], data);
+        let rel = RelativeMap2D::from_map(&map);
+        let r = relative_report(&rel);
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.contains("p0"));
+        assert!(r.contains("p1"));
+    }
+
+    #[test]
+    fn multi_optimal_report_counts_points() {
+        let data = vec![vec![m(1.0)], vec![m(1.0)]];
+        let map = Map2D::new(vec![1.0], vec![1.0], vec!["p0".into(), "p1".into()], data);
+        let rel = RelativeMap2D::from_map(&map);
+        let r = multi_optimal_report(&rel, OptimalityTolerance::Factor(1.01));
+        assert!(r.contains("100.0% of points have several"));
+        assert!(r.contains("2 optimal plan(s): 1 points"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the map/analysis layer: invariants that must
+//! hold for *any* map, not just measured ones.
+
+use proptest::prelude::*;
+use robustmap_core::analysis::discontinuity::detect_discontinuities;
+use robustmap_core::analysis::landmarks::crossovers;
+use robustmap_core::analysis::monotonicity::monotonicity_violations;
+use robustmap_core::analysis::symmetry::symmetry_of;
+use robustmap_core::map::Map2D;
+use robustmap_core::measure::Measurement;
+use robustmap_core::regions::{connected_components, BoolGrid, RegionStats};
+use robustmap_core::relative::{OptimalityTolerance, RelativeMap2D};
+
+fn meas(seconds: f64) -> Measurement {
+    Measurement { seconds, ..Default::default() }
+}
+
+fn map_strategy() -> impl Strategy<Value = Map2D> {
+    // 1..=4 plans over small grids with positive costs.
+    (1usize..=4, 1usize..=6, 1usize..=6).prop_flat_map(|(plans, na, nb)| {
+        let cells = na * nb;
+        (
+            prop::collection::vec(
+                prop::collection::vec(0.001f64..1000.0, cells..=cells),
+                plans..=plans,
+            ),
+            Just((na, nb)),
+        )
+            .prop_map(move |(grids, (na, nb))| {
+                let sel_a: Vec<f64> = (0..na).map(|i| 0.5f64.powi((na - 1 - i) as i32)).collect();
+                let sel_b: Vec<f64> = (0..nb).map(|i| 0.5f64.powi((nb - 1 - i) as i32)).collect();
+                let names = (0..grids.len()).map(|i| format!("p{i}")).collect();
+                let data = grids
+                    .into_iter()
+                    .map(|g| g.into_iter().map(meas).collect())
+                    .collect();
+                Map2D::new(sel_a, sel_b, names, data)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Relative maps: quotients >= 1, the best plan has quotient 1, every
+    /// cell is covered by some strict optimality region, and multi-optimal
+    /// counts are consistent with the regions.
+    #[test]
+    fn relative_map_invariants(map in map_strategy()) {
+        let rel = RelativeMap2D::from_map(&map);
+        let (na, nb) = rel.dims();
+        for p in 0..map.plan_count() {
+            prop_assert!(rel.worst_quotient(p) >= 1.0);
+            for &q in rel.quotient_grid(p) {
+                prop_assert!(q >= 1.0 - 1e-12 && q.is_finite());
+            }
+            // area_within is monotone in the factor.
+            prop_assert!(rel.area_within(p, 2.0) <= rel.area_within(p, 10.0));
+            prop_assert!(rel.area_within(p, f64::INFINITY) == 1.0);
+        }
+        let tol = OptimalityTolerance::Factor(1.0 + 1e-9);
+        let counts = rel.optimal_plan_counts(tol);
+        for ia in 0..na {
+            for ib in 0..nb {
+                let best = rel.best_plan_at(ia, ib);
+                prop_assert!((rel.quotient(best, ia, ib) - 1.0).abs() < 1e-12);
+                prop_assert!(counts[ia * nb + ib] >= 1);
+            }
+        }
+        // Sum over plans of region cells equals sum of per-cell counts.
+        let total_regions: usize = (0..map.plan_count())
+            .map(|p| rel.optimal_region(p, tol).count())
+            .sum();
+        let total_counts: u32 = counts.iter().sum();
+        prop_assert_eq!(total_regions as u32, total_counts);
+    }
+
+    /// Widening the tolerance can only grow optimality regions.
+    #[test]
+    fn tolerance_monotonicity(map in map_strategy()) {
+        let rel = RelativeMap2D::from_map(&map);
+        for p in 0..rel.plans.len() {
+            let tight = rel.optimal_region(p, OptimalityTolerance::Factor(1.1));
+            let loose = rel.optimal_region(p, OptimalityTolerance::Factor(2.0));
+            let (na, nb) = rel.dims();
+            for ia in 0..na {
+                for ib in 0..nb {
+                    prop_assert!(!tight.get(ia, ib) || loose.get(ia, ib));
+                }
+            }
+        }
+    }
+
+    /// Connected components partition the true cells exactly: areas sum to
+    /// the count, cells are disjoint, and each component is connected.
+    #[test]
+    fn components_partition_grid(cells in prop::collection::vec(any::<bool>(), 1..64), w in 1usize..8) {
+        let h = cells.len().div_ceil(w);
+        let grid = BoolGrid::from_fn(w, h, |ia, ib| {
+            cells.get(ia * h + ib).copied().unwrap_or(false)
+        });
+        let regions = connected_components(&grid);
+        let total: usize = regions.iter().map(|r| r.area).sum();
+        prop_assert_eq!(total, grid.count());
+        let mut seen = std::collections::HashSet::new();
+        for r in &regions {
+            prop_assert_eq!(r.area, r.cells.len());
+            for &c in &r.cells {
+                prop_assert!(seen.insert(c), "cell in two regions");
+                prop_assert!(grid.get(c.0, c.1));
+            }
+            // Components are sorted largest-first.
+        }
+        prop_assert!(regions.windows(2).all(|w| w[0].area >= w[1].area));
+        let stats = RegionStats::of(&grid);
+        prop_assert_eq!(stats.component_count, regions.len());
+        prop_assert_eq!(stats.total_area, total);
+    }
+
+    /// Monotone series never trigger monotonicity violations, and a series
+    /// plus its recorded violations reconstructs consistently.
+    #[test]
+    fn monotone_series_are_clean(steps in prop::collection::vec(0.0f64..10.0, 2..40)) {
+        let work: Vec<f64> = (1..=steps.len()).map(|i| i as f64).collect();
+        let mut cost = Vec::with_capacity(steps.len());
+        let mut acc = 1.0;
+        for s in &steps {
+            acc += s;
+            cost.push(acc);
+        }
+        prop_assert!(monotonicity_violations(&work, &cost, 0.0).is_empty());
+        // Reversing the series produces one violation per strict decrease.
+        let rev: Vec<f64> = cost.iter().rev().copied().collect();
+        let violations = monotonicity_violations(&work, &rev, 0.0);
+        let strict_decreases = rev.windows(2).filter(|w| w[1] < w[0]).count();
+        prop_assert_eq!(violations.len(), strict_decreases);
+    }
+
+    /// Scaling both series by the same factor leaves crossovers unchanged.
+    #[test]
+    fn crossovers_are_scale_invariant(
+        a in prop::collection::vec(0.01f64..100.0, 3..20),
+        scale in 0.01f64..100.0,
+    ) {
+        let axis: Vec<f64> = (1..=a.len()).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|&x| x * 1.5).collect(); // never crosses
+        prop_assert!(crossovers(&axis, &a, &b).is_empty());
+        let a2: Vec<f64> = a.iter().map(|&x| x * scale).collect();
+        let b2: Vec<f64> = a.iter().rev().map(|&x| x * scale).collect();
+        let x1 = crossovers(&axis, &a, &a.iter().rev().copied().collect::<Vec<_>>());
+        let x2 = crossovers(&axis, &a2, &b2);
+        prop_assert_eq!(x1.len(), x2.len());
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert_eq!(u.index, v.index);
+            prop_assert!((u.at - v.at).abs() < 1e-6 * u.at.max(1.0));
+        }
+    }
+
+    /// A symmetric grid scores zero asymmetry; transposing never changes
+    /// the score; discontinuity detection is invariant under scaling.
+    #[test]
+    fn symmetry_and_discontinuity_props(vals in prop::collection::vec(0.01f64..100.0, 9..=9)) {
+        let n = 3;
+        // Symmetrise: m[i][j] = v[i] + v[j].
+        let vals_ref = &vals;
+        let sym: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| vals_ref[i] + vals_ref[j]))
+            .collect::<Vec<_>>();
+        let s = symmetry_of(&sym, n);
+        prop_assert!(s.max_log_ratio < 1e-9);
+        // Transpose invariance on the raw grid.
+        let transposed: Vec<f64> =
+            (0..n).flat_map(|i| (0..n).map(move |j| vals_ref[j * n + i])).collect();
+        let s1 = symmetry_of(&vals, n);
+        let s2 = symmetry_of(&transposed, n);
+        prop_assert!((s1.max_log_ratio - s2.max_log_ratio).abs() < 1e-12);
+        // Discontinuity count is scale invariant.
+        let axis = [1.0, 2.0, 4.0];
+        let row = &vals[..3];
+        let scaled: Vec<f64> = row.iter().map(|&x| x * 7.0).collect();
+        prop_assert_eq!(
+            detect_discontinuities(&axis, row, 4.0).len(),
+            detect_discontinuities(&axis, &scaled, 4.0).len()
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! Plan execution: the driver that turns a [`PlanSpec`] into rows.
+//!
+//! [`execute`] interprets the plan tree, wiring the physical operators in
+//! [`crate::ops`] together and pushing output rows into a caller-provided
+//! sink.  All costs land on the [`Session`]'s simulated clock; the caller
+//! reads elapsed time and I/O statistics from the session afterwards —
+//! exactly the measurement the paper's robustness maps are built from.
+
+use std::cell::{Cell, RefCell};
+
+use robustmap_storage::{AccessKind, Database, FileId, IoStats, Row, Session, StorageError};
+
+use crate::expr::Predicate;
+use crate::ops;
+use crate::plan::{FetchKind, PlanSpec};
+
+/// Errors raised during plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The storage layer rejected an access.
+    Storage(StorageError),
+    /// The plan is malformed (bad column counts, unknown objects, ...).
+    BadPlan(String),
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::BadPlan(msg) => write!(f, "bad plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-operator execution record (label, output rows, inclusive simulated
+/// seconds — children included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Operator synopsis.
+    pub label: String,
+    /// Nesting depth in the plan tree (0 = root).
+    pub depth: usize,
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Inclusive simulated seconds (includes children).
+    pub seconds: f64,
+}
+
+/// Summary of one plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecStats {
+    /// Rows delivered to the sink.
+    pub rows_out: u64,
+    /// Simulated seconds for the whole plan.
+    pub seconds: f64,
+    /// I/O and CPU counters for the whole plan.
+    pub io: IoStats,
+    /// Whether any operator spilled to disk.
+    pub spilled: bool,
+    /// Per-operator breakdown, preorder.
+    pub operators: Vec<OpStats>,
+}
+
+/// Execution context: the database, the charging session, the query's
+/// memory grant, and run-time bookkeeping (temp files, spill flag).
+pub struct ExecCtx<'a> {
+    /// The (read-only) database.
+    pub db: &'a Database,
+    /// The session all work is charged to.
+    pub session: &'a Session,
+    /// Memory grant for memory-intensive operators, in bytes (the paper
+    /// hints memory allocation explicitly).
+    pub memory_bytes: usize,
+    temp_counter: Cell<u32>,
+    temp_base: u32,
+    spilled: Cell<bool>,
+    op_stats: RefCell<Vec<OpStats>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context with the given memory grant.
+    pub fn new(db: &'a Database, session: &'a Session, memory_bytes: usize) -> Self {
+        ExecCtx {
+            db,
+            session,
+            memory_bytes,
+            temp_counter: Cell::new(0),
+            temp_base: db.temp_file_base(),
+            spilled: Cell::new(false),
+            op_stats: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Allocate a file id for a temporary (spill) file; never collides with
+    /// catalog objects.
+    pub fn alloc_temp_file(&self) -> FileId {
+        let n = self.temp_counter.get();
+        self.temp_counter.set(n + 1);
+        FileId(self.temp_base + n)
+    }
+
+    /// Record that some operator spilled.
+    pub fn note_spill(&self) {
+        self.spilled.set(true);
+    }
+
+    /// Whether any operator spilled so far.
+    pub fn spilled(&self) -> bool {
+        self.spilled.get()
+    }
+
+    fn record_op(&self, label: String, depth: usize, rows_out: u64, seconds: f64) {
+        self.op_stats.borrow_mut().push(OpStats { label, depth, rows_out, seconds });
+    }
+}
+
+/// Execute `plan`, pushing every output row into `sink`.  Returns the
+/// execution summary; timings/IO are also observable on the session.
+pub fn execute(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<ExecStats, ExecError> {
+    let t0 = ctx.session.elapsed();
+    let io0 = ctx.session.stats();
+    let rows = execute_node(plan, ctx, 0, sink)?;
+    let mut operators = ctx.op_stats.borrow_mut();
+    let stats = ExecStats {
+        rows_out: rows,
+        seconds: ctx.session.elapsed() - t0,
+        io: ctx.session.stats().since(&io0),
+        spilled: ctx.spilled(),
+        operators: std::mem::take(&mut *operators),
+    };
+    Ok(stats)
+}
+
+/// Execute and count output rows, discarding them.
+pub fn execute_count(plan: &PlanSpec, ctx: &ExecCtx<'_>) -> Result<ExecStats, ExecError> {
+    execute(plan, ctx, &mut |_| {})
+}
+
+/// Execute and collect all output rows (tests and small results only).
+pub fn execute_collect(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+) -> Result<(ExecStats, Vec<Row>), ExecError> {
+    let mut rows = Vec::new();
+    let stats = execute(plan, ctx, &mut |r| rows.push(*r))?;
+    Ok((stats, rows))
+}
+
+fn run_fetch(
+    heap: &robustmap_storage::HeapFile,
+    rids: Vec<robustmap_storage::heap::Rid>,
+    fetch: &FetchKind,
+    residual: &Predicate,
+    project: &crate::plan::Projection,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
+    match fetch {
+        FetchKind::Traditional => {
+            ops::fetch::traditional(heap, &rids, residual, project, ctx.session, sink)
+        }
+        FetchKind::Improved(cfg) => {
+            ops::fetch::improved(heap, rids, cfg, residual, project, ctx.session, sink)
+        }
+        FetchKind::BitmapSorted => {
+            ops::fetch::bitmap_sorted(heap, &rids, residual, project, ctx.session, sink)
+        }
+    }
+}
+
+fn execute_node(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    depth: usize,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
+    let t0 = ctx.session.elapsed();
+    let rows = match plan {
+        PlanSpec::TableScan { table, pred, project } => {
+            ops::table_scan::run(ctx.db.table(*table), pred, project, ctx.session, sink)
+        }
+        PlanSpec::IndexFetch { scan, key_filter, fetch, residual, project } => {
+            let index = ctx.db.index(scan.index);
+            let rids = ops::index_scan::collect_rids_filtered(
+                index,
+                &scan.range,
+                key_filter,
+                ctx.session,
+                AccessKind::Sequential,
+            );
+            let heap = &ctx.db.table(index.table).heap;
+            run_fetch(heap, rids, fetch, residual, project, ctx, sink)?
+        }
+        PlanSpec::CoveringIndexScan { scan, residual, project } => {
+            let index = ctx.db.index(scan.index);
+            ops::index_scan::run_covering(index, &scan.range, residual, project, ctx.session, sink)
+        }
+        PlanSpec::Mdam { index, col_ranges, project } => {
+            ops::mdam::run(ctx.db.index(*index), col_ranges, project, ctx.session, sink)?
+        }
+        PlanSpec::IndexIntersect { left, right, algo, fetch, residual, project } => {
+            let li = ctx.db.index(left.index);
+            let ri = ctx.db.index(right.index);
+            if li.table != ri.table {
+                return Err(ExecError::BadPlan(
+                    "index intersection across different tables".into(),
+                ));
+            }
+            let lrids =
+                ops::index_scan::collect_rids(li, &left.range, ctx.session, AccessKind::Sequential);
+            let rrids =
+                ops::index_scan::collect_rids(ri, &right.range, ctx.session, AccessKind::Sequential);
+            let surviving = ops::rid_join::intersect_rids(lrids, rrids, *algo, ctx);
+            let heap = &ctx.db.table(li.table).heap;
+            run_fetch(heap, surviving, fetch, residual, project, ctx, sink)?
+        }
+        PlanSpec::CoveringRidJoin { left, right, algo, project } => {
+            let li = ctx.db.index(left.index);
+            let ri = ctx.db.index(right.index);
+            if li.table != ri.table {
+                return Err(ExecError::BadPlan("covering rid join across different tables".into()));
+            }
+            let lentries =
+                ops::index_scan::collect_entries(li, &left.range, ctx.session, AccessKind::Sequential);
+            let rentries =
+                ops::index_scan::collect_entries(ri, &right.range, ctx.session, AccessKind::Sequential);
+            let mut produced = 0u64;
+            ops::rid_join::covering_join(lentries, rentries, *algo, ctx, &mut |row| {
+                let out = project.apply(row);
+                sink(&out);
+                produced += 1;
+            });
+            produced
+        }
+        PlanSpec::Join { left, right, left_key, right_key, algo, memory_bytes, project } => {
+            let mut lrows = Vec::new();
+            execute_node(left, ctx, depth + 1, &mut |r| lrows.push(*r))?;
+            let mut rrows = Vec::new();
+            execute_node(right, ctx, depth + 1, &mut |r| rrows.push(*r))?;
+            let mut produced = 0u64;
+            let mut project_sink = |row: &Row| {
+                let out = project.apply(row);
+                sink(&out);
+                produced += 1;
+            };
+            match algo {
+                crate::plan::JoinAlgo::SortMerge => {
+                    ops::join::sort_merge_join(
+                        lrows,
+                        rrows,
+                        *left_key,
+                        *right_key,
+                        *memory_bytes,
+                        ctx,
+                        &mut project_sink,
+                    )?;
+                }
+                crate::plan::JoinAlgo::Hash { build_left } => {
+                    let (b, p, bk, pk, swap) = if *build_left {
+                        (lrows, rrows, *left_key, *right_key, false)
+                    } else {
+                        (rrows, lrows, *right_key, *left_key, true)
+                    };
+                    ops::join::hash_join(b, p, bk, pk, *memory_bytes, swap, ctx, &mut project_sink)?;
+                }
+            }
+            produced
+        }
+        PlanSpec::ParallelTableScan { table, pred, project, dop, skew_permille } => {
+            ops::parallel_scan::run(
+                ctx.db.table(*table),
+                pred,
+                project,
+                *dop,
+                *skew_permille as f64 / 1000.0,
+                ctx.session,
+                sink,
+            )?
+        }
+        PlanSpec::Sort { input, key_cols, mode, memory_bytes } => {
+            let mut sorter =
+                ops::sort::ExternalSorter::new(ctx, key_cols.clone(), *mode, *memory_bytes);
+            execute_node(input, ctx, depth + 1, &mut |row| sorter.push(row))?;
+            sorter.finish(sink)
+        }
+        PlanSpec::HashAgg { input, group_cols, aggs, mode, memory_bytes } => {
+            let mut agg = ops::agg::HashAggregator::new(
+                ctx,
+                group_cols.clone(),
+                aggs.clone(),
+                *mode,
+                *memory_bytes,
+            );
+            execute_node(input, ctx, depth + 1, &mut |row| agg.push(row))?;
+            agg.finish(sink)
+        }
+    };
+    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColRange;
+    use crate::ops::testutil::demo_db;
+    use crate::plan::{
+        AggFn, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, KeyRange, Projection, SpillMode,
+    };
+
+    /// All plans answering `SELECT * FROM demo WHERE a <= ca AND b <= cb`
+    /// must agree, whatever the physical shape.
+    #[test]
+    fn all_two_predicate_plans_agree() {
+        let n = 2048i64;
+        let (mut db, t) = demo_db(n);
+        let idx_a = db.create_index("idx_a", t, &[0]).unwrap();
+        let idx_b = db.create_index("idx_b", t, &[1]).unwrap();
+        let idx_ab = db.create_index("idx_ab", t, &[0, 1]).unwrap();
+        let (ca, cb) = (511i64, 1023i64);
+        let pred = Predicate::all_of(vec![ColRange::at_most(0, ca), ColRange::at_most(1, cb)]);
+        let improved = FetchKind::Improved(ImprovedFetchConfig::default());
+
+        let plans: Vec<PlanSpec> = vec![
+            PlanSpec::TableScan { table: t, pred: pred.clone(), project: Projection::All },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ca, 1) },
+                key_filter: Predicate::always_true(),
+                fetch: improved,
+                residual: Predicate::single(ColRange::at_most(1, cb)),
+                project: Projection::All,
+            },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, cb, 1) },
+                key_filter: Predicate::always_true(),
+                fetch: FetchKind::Traditional,
+                residual: Predicate::single(ColRange::at_most(0, ca)),
+                project: Projection::All,
+            },
+            PlanSpec::IndexIntersect {
+                left: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ca, 1) },
+                right: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, cb, 1) },
+                algo: IntersectAlgo::MergeJoin,
+                fetch: improved,
+                residual: Predicate::always_true(),
+                project: Projection::All,
+            },
+            PlanSpec::IndexIntersect {
+                left: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, cb, 1) },
+                right: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ca, 1) },
+                algo: IntersectAlgo::HashJoin { build_left: false },
+                fetch: FetchKind::BitmapSorted,
+                residual: Predicate::always_true(),
+                project: Projection::All,
+            },
+        ];
+
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for plan in &plans {
+            let s = Session::with_pool_pages(256);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (stats, rows) = execute_collect(plan, &ctx).unwrap();
+            let mut rows: Vec<Vec<i64>> = rows.iter().map(|r| r.values().to_vec()).collect();
+            rows.sort();
+            assert_eq!(stats.rows_out as usize, rows.len());
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert_eq!(&rows, want, "plan {} disagrees", plan.synopsis()),
+            }
+        }
+        // Covering plan in key space: project (a, b) and compare counts.
+        let s = Session::with_pool_pages(256);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let covering = PlanSpec::CoveringIndexScan {
+            scan: IndexRangeSpec { index: idx_ab, range: KeyRange::on_leading(i64::MIN, ca, 2) },
+            residual: Predicate::single(ColRange::at_most(1, cb)),
+            project: Projection::All,
+        };
+        let (stats, _) = execute_collect(&covering, &ctx).unwrap();
+        assert_eq!(stats.rows_out as usize, reference.unwrap().len());
+        // MDAM over the same index agrees too.
+        let mdam = PlanSpec::Mdam {
+            index: idx_ab,
+            col_ranges: vec![(i64::MIN, ca), (i64::MIN, cb)],
+            project: Projection::All,
+        };
+        let ctx2 = ExecCtx::new(&db, &s, 1 << 20);
+        let (mstats, _) = execute_collect(&mdam, &ctx2).unwrap();
+        assert_eq!(mstats.rows_out, stats.rows_out);
+    }
+
+    #[test]
+    fn covering_rid_join_covers_two_columns() {
+        let n = 1024i64;
+        let (mut db, t) = demo_db(n);
+        let idx_a = db.create_index("idx_a", t, &[0]).unwrap();
+        let idx_c = db.create_index("idx_c", t, &[2]).unwrap();
+        // SELECT a, c WHERE a <= 99 — no single-column index covers (a, c).
+        let plan = PlanSpec::CoveringRidJoin {
+            left: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, 99, 1) },
+            right: IndexRangeSpec { index: idx_c, range: KeyRange::full(1) },
+            algo: IntersectAlgo::HashJoin { build_left: true },
+            project: Projection::All,
+        };
+        let s = Session::with_pool_pages(256);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (stats, rows) = execute_collect(&plan, &ctx).unwrap();
+        assert_eq!(stats.rows_out, 100);
+        // Verify against the base table: c = 7 * row_number and matches a.
+        let truth: std::collections::BTreeSet<(i64, i64)> = {
+            let s2 = Session::with_pool_pages(0);
+            let mut set = std::collections::BTreeSet::new();
+            db.table(t).heap.scan(&s2, |_, row| {
+                if row.get(0) <= 99 {
+                    set.insert((row.get(0), row.get(2)));
+                }
+            });
+            set
+        };
+        let got: std::collections::BTreeSet<(i64, i64)> =
+            rows.iter().map(|r| (r.get(0), r.get(1))).collect();
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn sort_plan_orders_output() {
+        let (mut db, t) = demo_db(512);
+        let _ = db.create_index("idx_a", t, &[0]).unwrap();
+        let plan = PlanSpec::Sort {
+            input: Box::new(PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::always_true(),
+                project: Projection::Columns(vec![1, 2]),
+            }),
+            key_cols: vec![0],
+            mode: SpillMode::Graceful,
+            memory_bytes: 1 << 20,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (stats, rows) = execute_collect(&plan, &ctx).unwrap();
+        assert_eq!(stats.rows_out, 512);
+        assert!(rows.windows(2).all(|w| w[0].get(0) <= w[1].get(0)));
+        // Two operators recorded: Sort and its child TableScan.
+        assert_eq!(stats.operators.len(), 2);
+        assert_eq!(stats.operators[0].depth, 1); // child finishes first
+        assert_eq!(stats.operators[1].depth, 0);
+    }
+
+    #[test]
+    fn agg_plan_counts_groups() {
+        let (db, t) = demo_db(1000);
+        let plan = PlanSpec::HashAgg {
+            input: Box::new(PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::always_true(),
+                project: Projection::Columns(vec![0]),
+            }),
+            group_cols: vec![],
+            aggs: vec![AggFn::CountStar, AggFn::Max(0)],
+            mode: SpillMode::Graceful,
+            memory_bytes: 1 << 20,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (_, rows) = execute_collect(&plan, &ctx).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values(), &[1000, 999]);
+    }
+
+    #[test]
+    fn exec_stats_reflect_session_deltas() {
+        let (db, t) = demo_db(256);
+        let plan = PlanSpec::TableScan {
+            table: t,
+            pred: Predicate::always_true(),
+            project: Projection::All,
+        };
+        let s = Session::with_pool_pages(64);
+        // Pre-charge some unrelated work; stats must only cover the plan.
+        s.charge_rows(1_000_000);
+        let before = s.elapsed();
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let stats = execute_count(&plan, &ctx).unwrap();
+        assert_eq!(stats.rows_out, 256);
+        assert!((stats.seconds - (s.elapsed() - before)).abs() < 1e-12);
+        assert_eq!(stats.io.cpu_rows, 256);
+        assert!(!stats.spilled);
+    }
+
+    #[test]
+    fn cross_table_intersection_is_rejected() {
+        let (mut db, t1) = demo_db(64);
+        let schema = robustmap_storage::Schema::new(vec![("x", robustmap_storage::ColumnType::Int)]);
+        let t2 = db.create_table("other", schema);
+        for i in 0..64 {
+            db.insert_row(t2, &Row::from_slice(&[i])).unwrap();
+        }
+        let i1 = db.create_index("i1", t1, &[0]).unwrap();
+        let i2 = db.create_index("i2", t2, &[0]).unwrap();
+        let plan = PlanSpec::IndexIntersect {
+            left: IndexRangeSpec { index: i1, range: KeyRange::full(1) },
+            right: IndexRangeSpec { index: i2, range: KeyRange::full(1) },
+            algo: IntersectAlgo::MergeJoin,
+            fetch: FetchKind::Traditional,
+            residual: Predicate::always_true(),
+            project: Projection::All,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        assert!(matches!(execute_count(&plan, &ctx), Err(ExecError::BadPlan(_))));
+    }
+}

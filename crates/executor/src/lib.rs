@@ -1,0 +1,46 @@
+//! # robustmap-executor
+//!
+//! Query execution substrate for the robustness-map reproduction of Graefe,
+//! Kuno & Wiener, *Visualizing the robustness of query execution* (CIDR
+//! 2009).
+//!
+//! The paper fixes query execution plans with hints and measures how each
+//! plan behaves across run-time conditions.  This crate implements those
+//! plans as real physical operators over [`robustmap_storage`]:
+//!
+//! * [`ops::table_scan`] — full scan of the main storage structure,
+//! * [`ops::index_scan`] — B+-tree range scans (rid-producing and covering),
+//! * [`ops::fetch`] — the three row-fetch disciplines the paper contrasts:
+//!   **traditional** (one random I/O per row, Figure 1's "traditional index
+//!   scan"), **improved** (rid sort + in-order fetch with a read-ahead mode
+//!   switch, Figure 1's "improved index scan"), and **bitmap-sorted**
+//!   (System B's fetch in Figure 8),
+//! * [`ops::mdam`] — multi-dimensional B-tree access (\[LJBY95\], Figure 9),
+//! * [`ops::rid_join`] — index intersection by rid merge join or rid hash
+//!   join (Figures 5 and 7) and covering rid-to-rid joins (Figure 2),
+//! * [`ops::sort`] — external merge sort with *graceful* and *abrupt* spill
+//!   modes (the §4 robustness prediction),
+//! * [`ops::agg`] — hash aggregation with optional grace spill,
+//! * [`ops::join`] — general sort-merge and hybrid hash equi-joins
+//!   (\[GLS94\]'s contrast, the paper's §4 future work),
+//! * [`ops::parallel_scan`] — parallel table scans with a skew knob
+//!   (critical-path timing, summed work).
+//!
+//! Plans are described by [`plan::PlanSpec`] trees and executed by
+//! [`exec::execute`], which pushes rows into a caller-provided sink and
+//! charges all work to a [`robustmap_storage::Session`].
+
+pub mod exec;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+
+pub use exec::{execute, execute_collect, execute_count, ExecCtx, ExecError, ExecStats, OpStats};
+pub use expr::{ColRange, Predicate};
+pub use plan::{
+    AggFn, FetchKind, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, JoinAlgo, KeyRange,
+    PlanSpec, Projection, SpillMode,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, exec::ExecError>;

@@ -1,0 +1,317 @@
+//! General equi-joins between row streams: sort-merge and hybrid hash.
+//!
+//! The paper's future work (§4) extends robustness maps to "additional
+//! query execution algorithms including sort, aggregation, join algorithms,
+//! and join order", and its §3.2 discussion leans on the authors' earlier
+//! *Sort versus Hash Revisited* (\[GLS94\]) — symmetric merge joins versus
+//! asymmetric hash joins with build-side memory cliffs.  This module
+//! provides both algorithms over arbitrary child plans so those maps can be
+//! drawn:
+//!
+//! * [`sort_merge_join`] — external-sorts both inputs (graceful spill) and
+//!   merges, handling many-to-many keys; cost is symmetric in the inputs;
+//! * [`hash_join`] — builds on one side, probes with the other; spills by
+//!   grace partitioning when the build side exceeds the memory grant.
+//!
+//! Output rows are `left columns ++ right columns` (within the global
+//! [`robustmap_storage::MAX_COLUMNS`] limit); callers project children
+//! accordingly.
+
+use std::collections::HashMap;
+
+use robustmap_storage::{AccessKind, PageId, Row, PAGE_SIZE};
+
+use crate::exec::{ExecCtx, ExecError};
+use crate::ops::sort::ExternalSorter;
+use crate::plan::SpillMode;
+
+fn combined(left: &Row, right: &Row) -> Row {
+    let mut out = *left;
+    for &v in right.values() {
+        out.push(v);
+    }
+    out
+}
+
+/// Sort-merge join of two materialised inputs on single key columns.
+/// Symmetric: swapping the inputs (and keys) gives the same cost.
+pub fn sort_merge_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_key: usize,
+    right_key: usize,
+    memory_bytes: usize,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
+    // Each input gets half the grant, as a memory-broker would split it.
+    let half = (memory_bytes / 2).max(1);
+    let sort = |rows: Vec<Row>, key: usize| -> Vec<Row> {
+        let mut sorter = ExternalSorter::new(ctx, vec![key], SpillMode::Graceful, half);
+        for r in &rows {
+            sorter.push(r);
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        sorter.finish(&mut |r| out.push(*r));
+        out
+    };
+    let left = sort(left, left_key);
+    let right = sort(right, right_key);
+
+    let session = ctx.session;
+    let mut produced = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut compares = 0u64;
+    while i < left.len() && j < right.len() {
+        compares += 1;
+        let lk = left[i].get(left_key);
+        let rk = right[j].get(right_key);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the two equal-key groups.
+                let j_group_end = {
+                    let mut e = j;
+                    while e < right.len() && right[e].get(right_key) == rk {
+                        e += 1;
+                    }
+                    e
+                };
+                while i < left.len() && left[i].get(left_key) == lk {
+                    for r in &right[j..j_group_end] {
+                        session.charge_rows(1);
+                        let row = combined(&left[i], r);
+                        sink(&row);
+                        produced += 1;
+                    }
+                    i += 1;
+                }
+                j = j_group_end;
+            }
+        }
+    }
+    session.charge_compares(compares);
+    Ok(produced)
+}
+
+/// Hybrid hash join: build a table on `build`, probe with `probe`.
+/// Asymmetric: the build side determines memory behaviour, and building
+/// costs roughly twice per row what probing does.  When the build side
+/// exceeds `memory_bytes`, both inputs are grace-partitioned to temp files
+/// (charged as page writes + reads) and joined partition by partition.
+///
+/// `swap_output`: emit `probe ++ build` columns instead (used when the
+/// physical build side is the plan's right input but output order must
+/// stay `left ++ right`).
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    build: Vec<Row>,
+    probe: Vec<Row>,
+    build_key: usize,
+    probe_key: usize,
+    memory_bytes: usize,
+    swap_output: bool,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
+    let session = ctx.session;
+    let row_bytes = |r: &Row| r.arity() * 8 + 16;
+    let build_bytes: usize = build.iter().map(row_bytes).sum::<usize>() * 2;
+    if build_bytes <= memory_bytes || build.is_empty() {
+        return Ok(hash_join_in_memory(&build, &probe, build_key, probe_key, swap_output, ctx, sink));
+    }
+    // Grace partitioning: hash both sides to partitions, write + read both.
+    ctx.note_spill();
+    let partitions = (build_bytes / memory_bytes.max(1) + 1).next_power_of_two();
+    session.charge_hashes((build.len() + probe.len()) as u64);
+    let mut build_parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+    let mut probe_parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+    let hash = |v: i64| (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize;
+    for r in build {
+        build_parts[hash(r.get(build_key)) & (partitions - 1)].push(r);
+    }
+    for r in probe {
+        probe_parts[hash(r.get(probe_key)) & (partitions - 1)].push(r);
+    }
+    for part in build_parts.iter().chain(probe_parts.iter()) {
+        let bytes: usize = part.iter().map(row_bytes).sum();
+        let pages = bytes.div_ceil(PAGE_SIZE) as u32;
+        let file = ctx.alloc_temp_file();
+        for p in 0..pages {
+            session.write_page(PageId::new(file, p));
+        }
+        for p in 0..pages {
+            session.read_page(PageId::new(file, p), AccessKind::Sequential);
+        }
+        session.invalidate_file(file);
+    }
+    let mut produced = 0u64;
+    for (b, p) in build_parts.into_iter().zip(probe_parts) {
+        produced += hash_join_in_memory(&b, &p, build_key, probe_key, swap_output, ctx, sink);
+    }
+    Ok(produced)
+}
+
+fn hash_join_in_memory(
+    build: &[Row],
+    probe: &[Row],
+    build_key: usize,
+    probe_key: usize,
+    swap_output: bool,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> u64 {
+    let session = ctx.session;
+    // Build costs double per row (insertion + growth), as in the rid join.
+    session.charge_hashes(2 * build.len() as u64);
+    let mut table: HashMap<i64, Vec<&Row>> = HashMap::new();
+    for r in build {
+        table.entry(r.get(build_key)).or_default().push(r);
+    }
+    session.charge_hashes(probe.len() as u64);
+    let mut produced = 0u64;
+    for p in probe {
+        if let Some(matches) = table.get(&p.get(probe_key)) {
+            for b in matches {
+                session.charge_rows(1);
+                let row = if swap_output { combined(p, b) } else { combined(b, p) };
+                sink(&row);
+                produced += 1;
+            }
+        }
+    }
+    produced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::demo_db;
+
+    fn rows_of(pairs: &[(i64, i64)]) -> Vec<Row> {
+        pairs.iter().map(|&(k, v)| Row::from_slice(&[k, v])).collect()
+    }
+
+    fn reference_join(left: &[(i64, i64)], right: &[(i64, i64)]) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        for &(lk, lv) in left {
+            for &(rk, rv) in right {
+                if lk == rk {
+                    out.push(vec![lk, lv, rk, rv]);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn run_all_variants(left: &[(i64, i64)], right: &[(i64, i64)], memory: usize) {
+        let (db, _) = demo_db(4);
+        let want = reference_join(left, right);
+        // Sort-merge.
+        {
+            let s = robustmap_storage::Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, memory);
+            let mut got = Vec::new();
+            sort_merge_join(rows_of(left), rows_of(right), 0, 0, memory, &ctx, &mut |r| {
+                got.push(r.values().to_vec())
+            })
+            .unwrap();
+            got.sort();
+            assert_eq!(got, want, "sort-merge");
+        }
+        // Hash, both build sides.
+        for (build_is_left, swap) in [(true, false), (false, true)] {
+            let s = robustmap_storage::Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, memory);
+            let mut got = Vec::new();
+            let (b, p) = if build_is_left {
+                (rows_of(left), rows_of(right))
+            } else {
+                (rows_of(right), rows_of(left))
+            };
+            hash_join(b, p, 0, 0, memory, swap, &ctx, &mut |r| got.push(r.values().to_vec()))
+                .unwrap();
+            got.sort();
+            assert_eq!(got, want, "hash build_left={build_is_left}");
+        }
+    }
+
+    #[test]
+    fn joins_match_nested_loop_reference() {
+        let left: Vec<(i64, i64)> = (0..200).map(|i| (i % 37, i)).collect();
+        let right: Vec<(i64, i64)> = (0..150).map(|i| (i % 23, 1000 + i)).collect();
+        run_all_variants(&left, &right, 1 << 20);
+    }
+
+    #[test]
+    fn joins_match_reference_when_spilling() {
+        let left: Vec<(i64, i64)> = (0..3000).map(|i| (i % 97, i)).collect();
+        let right: Vec<(i64, i64)> = (0..2000).map(|i| (i % 89, -i)).collect();
+        run_all_variants(&left, &right, 2048); // tiny grant: everything spills
+    }
+
+    #[test]
+    fn many_to_many_duplicates() {
+        let left: Vec<(i64, i64)> = vec![(5, 1), (5, 2), (5, 3), (7, 4)];
+        let right: Vec<(i64, i64)> = vec![(5, 10), (5, 20), (9, 30)];
+        run_all_variants(&left, &right, 1 << 20);
+        // 3 x 2 = 6 matches on key 5.
+        assert_eq!(reference_join(&left, &right).len(), 6);
+    }
+
+    #[test]
+    fn disjoint_keys_produce_nothing() {
+        let left: Vec<(i64, i64)> = (0..50).map(|i| (i, i)).collect();
+        let right: Vec<(i64, i64)> = (100..150).map(|i| (i, i)).collect();
+        run_all_variants(&left, &right, 1 << 20);
+        assert!(reference_join(&left, &right).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        run_all_variants(&[], &[(1, 1)], 1 << 20);
+        run_all_variants(&[(1, 1)], &[], 1 << 20);
+        run_all_variants(&[], &[], 1 << 20);
+    }
+
+    #[test]
+    fn sort_merge_cost_is_symmetric() {
+        let (db, _) = demo_db(4);
+        let small: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let large: Vec<(i64, i64)> = (0..20_000).map(|i| (i, i)).collect();
+        let cost = |l: &[(i64, i64)], r: &[(i64, i64)]| {
+            let s = robustmap_storage::Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 16);
+            sort_merge_join(rows_of(l), rows_of(r), 0, 0, 1 << 16, &ctx, &mut |_| {}).unwrap();
+            s.elapsed()
+        };
+        let c1 = cost(&small, &large);
+        let c2 = cost(&large, &small);
+        assert!((c1 - c2).abs() / c1 < 0.01, "sort-merge asymmetric: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn hash_join_cost_depends_on_build_side() {
+        let (db, _) = demo_db(4);
+        let small: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let large: Vec<(i64, i64)> = (0..50_000).map(|i| (i, i)).collect();
+        let memory = 64 * 1024; // large side does not fit; small side does
+        let cost = |build: &[(i64, i64)], probe: &[(i64, i64)]| {
+            let s = robustmap_storage::Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, memory);
+            hash_join(rows_of(build), rows_of(probe), 0, 0, memory, false, &ctx, &mut |_| {})
+                .unwrap();
+            (s.elapsed(), s.stats().page_writes)
+        };
+        let (small_build, w1) = cost(&small, &large);
+        let (large_build, w2) = cost(&large, &small);
+        assert_eq!(w1, 0, "small build must not spill");
+        assert!(w2 > 0, "large build must spill");
+        assert!(
+            large_build > small_build * 1.5,
+            "build-side cliff: {small_build} vs {large_build}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Multi-dimensional B-tree access (MDAM, \[LJBY95\]).
+//!
+//! Figure 9 of the paper shows that a covering two-column index is "extremely
+//! robust but only if fully exploited using MDAM technology".  Given
+//! per-column ranges `lo_i <= col_i <= hi_i` over a composite index, MDAM
+//! skips between qualifying key regions instead of scanning the whole range
+//! of the leading column: whenever the cursor leaves the box, it *seeks*
+//! directly to the next possible qualifying key.
+//!
+//! Consecutive seeks mostly land on the same or a nearby leaf, so with a
+//! warm buffer pool the skip cost is small — which is exactly why the plan
+//! degrades gracefully in both dimensions.
+
+use robustmap_storage::btree::Cursor;
+use robustmap_storage::{AccessKind, IndexDef, Key, Row, Session};
+
+use crate::exec::ExecError;
+use crate::plan::Projection;
+
+/// Run MDAM over `index` with one inclusive `(lo, hi)` range per key
+/// column.  Output rows are in key-column space, shaped by `project`.
+/// Returns rows produced.
+pub fn run(
+    index: &IndexDef,
+    col_ranges: &[(i64, i64)],
+    project: &Projection,
+    session: &Session,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
+    let arity = index.tree.key_arity();
+    if col_ranges.len() != arity {
+        return Err(ExecError::BadPlan(format!(
+            "MDAM needs {arity} column ranges, got {}",
+            col_ranges.len()
+        )));
+    }
+    for &(lo, hi) in col_ranges {
+        if lo > hi {
+            return Ok(0); // empty box
+        }
+    }
+
+    // How many entries to scan forward before paying a root-to-leaf seek.
+    // Skipping within the current leaf is what keeps MDAM no worse than a
+    // plain range scan when the leading column has few duplicates (with
+    // all-distinct prefixes, every "skip" lands on the very next entry).
+    const SKIP_SCAN_LIMIT: u32 = 8;
+
+    let mut produced = 0u64;
+    // Start at the low corner of the box.
+    let low_corner: Vec<i64> = col_ranges.iter().map(|&(lo, _)| lo).collect();
+    let mut cursor = index.tree.seek(&Key::new(&low_corner), session);
+
+    while let Some((key, _rid)) = index.tree.cursor_next(&mut cursor, session, AccessKind::Sequential)
+    {
+        // Find the first column that has left its range.
+        let mut violation: Option<(usize, bool)> = None; // (col, below_lo)
+        for (j, &(lo, hi)) in col_ranges.iter().enumerate() {
+            let v = key.get(j);
+            if v < lo {
+                violation = Some((j, true));
+                break;
+            }
+            if v > hi {
+                violation = Some((j, false));
+                break;
+            }
+        }
+        session.charge_compares(arity as u64);
+
+        match violation {
+            None => {
+                let row = Row::from_slice(key.values());
+                let out = project.apply(&row);
+                sink(&out);
+                produced += 1;
+            }
+            Some((0, false)) => break, // leading column beyond its range: done
+            Some((j, below_lo)) => {
+                let target = if below_lo {
+                    // Jump forward within the current prefix to the low
+                    // corner of the remaining columns.
+                    let mut vals: Vec<i64> = key.values()[..j].to_vec();
+                    for &(lo, _) in &col_ranges[j..] {
+                        vals.push(lo);
+                    }
+                    Key::new(&vals)
+                } else {
+                    // This prefix is exhausted: skip to the next distinct
+                    // value of the length-j prefix.
+                    Key::padded_hi(&key.values()[..j], arity)
+                };
+                // Hybrid skip: scan a few entries forward first — if the
+                // target is nearby, re-descending from the root would cost
+                // more than just walking the leaf.
+                let mut probe = cursor.clone();
+                let mut reached: Option<Cursor> = None;
+                for _ in 0..SKIP_SCAN_LIMIT {
+                    let ahead = probe.clone();
+                    match index.tree.cursor_next(&mut probe, session, AccessKind::Sequential) {
+                        Some((k, _)) if k >= target => {
+                            reached = Some(ahead);
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            reached = Some(probe.clone()); // exhausted: done
+                            break;
+                        }
+                    }
+                }
+                cursor = match reached {
+                    Some(c) => c,
+                    None => index.tree.seek(&target, session),
+                };
+            }
+        }
+    }
+    Ok(produced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::demo_db;
+    use robustmap_storage::Database;
+    use robustmap_storage::TableId;
+
+    fn reference_count(db: &Database, t: TableId, ranges: &[(usize, i64, i64)]) -> u64 {
+        let s = Session::with_pool_pages(0);
+        let mut n = 0;
+        db.table(t).heap.scan(&s, |_, row| {
+            if ranges.iter().all(|&(c, lo, hi)| {
+                let v = row.get(c);
+                lo <= v && v <= hi
+            }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn mdam_equals_filtered_scan_two_columns() {
+        let (mut db, t) = demo_db(1024);
+        let idx = db.create_index("idx_ab", t, &[0, 1]).unwrap();
+        let s = Session::with_pool_pages(256);
+        for (alo, ahi, blo, bhi) in
+            [(0, 1023, 0, 1023), (100, 199, 0, 1023), (0, 1023, 50, 59), (100, 400, 200, 300), (7, 7, 0, 1023)]
+        {
+            let mut count = 0u64;
+            let n = run(
+                db.index(idx),
+                &[(alo, ahi), (blo, bhi)],
+                &Projection::All,
+                &s,
+                &mut |_| count += 1,
+            )
+            .unwrap();
+            let want = reference_count(&db, t, &[(0, alo, ahi), (1, blo, bhi)]);
+            assert_eq!(n, want, "box a[{alo},{ahi}] b[{blo},{bhi}]");
+            assert_eq!(count, want);
+        }
+    }
+
+    #[test]
+    fn mdam_empty_box_is_free() {
+        let (mut db, t) = demo_db(64);
+        let idx = db.create_index("idx_ab", t, &[0, 1]).unwrap();
+        let s = Session::with_pool_pages(64);
+        let n = run(db.index(idx), &[(10, 5), (0, 63)], &Projection::All, &s, &mut |_| {
+            panic!("no rows expected")
+        })
+        .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(s.stats().pages_read(), 0);
+    }
+
+    #[test]
+    fn mdam_wrong_range_count_is_an_error() {
+        let (mut db, t) = demo_db(16);
+        let idx = db.create_index("idx_ab", t, &[0, 1]).unwrap();
+        let s = Session::with_pool_pages(64);
+        assert!(run(db.index(idx), &[(0, 10)], &Projection::All, &s, &mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn mdam_skips_rather_than_scans_when_second_column_is_selective() {
+        // Leading column with few distinct values (the regime MDAM is built
+        // for): 16 distinct `a` values, `b` a permutation within the table.
+        let mut db = Database::new();
+        let schema = robustmap_storage::Schema::new(vec![
+            ("a", robustmap_storage::ColumnType::Int),
+            ("b", robustmap_storage::ColumnType::Int),
+        ]);
+        let t = db.create_table("lowcard", schema);
+        let n = 8192i64;
+        for i in 0..n {
+            db.insert_row(
+                t,
+                &robustmap_storage::Row::from_slice(&[i % 16, (i * 7919) % n]),
+            )
+            .unwrap();
+        }
+        let idx = db.create_index("idx_ab", t, &[0, 1]).unwrap();
+        // Wide leading range, tiny second range: MDAM should touch far
+        // fewer entries than the 8192 the leading range contains.
+        let s = Session::with_pool_pages(1024);
+        let mut count = 0u64;
+        run(db.index(idx), &[(0, 15), (0, 63)], &Projection::All, &s, &mut |_| count += 1)
+            .unwrap();
+        let want = reference_count(&db, t, &[(0, 0, 15), (1, 0, 63)]);
+        assert_eq!(count, want);
+        assert_eq!(count, 64); // b is a permutation: exactly 64 rows qualify
+        // Entry touches (cpu_rows) stay far below a full covering range
+        // scan; MDAM visits ~one probe entry per distinct leading value
+        // plus the qualifying entries themselves.
+        assert!(
+            s.stats().cpu_rows < n as u64 / 8,
+            "MDAM touched {} entries",
+            s.stats().cpu_rows
+        );
+    }
+
+    #[test]
+    fn mdam_three_columns() {
+        let mut db = Database::new();
+        let schema = robustmap_storage::Schema::new(vec![
+            ("x", robustmap_storage::ColumnType::Int),
+            ("y", robustmap_storage::ColumnType::Int),
+            ("z", robustmap_storage::ColumnType::Int),
+        ]);
+        let t = db.create_table("t3", schema);
+        for i in 0..1000i64 {
+            db.insert_row(
+                t,
+                &robustmap_storage::Row::from_slice(&[i % 10, (i / 10) % 10, i % 97]),
+            )
+            .unwrap();
+        }
+        let idx = db.create_index("idx_xyz", t, &[0, 1, 2]).unwrap();
+        let s = Session::with_pool_pages(256);
+        let mut got = 0u64;
+        run(
+            db.index(idx),
+            &[(2, 5), (3, 8), (10, 40)],
+            &Projection::All,
+            &s,
+            &mut |r| {
+                assert!((2..=5).contains(&r.get(0)));
+                assert!((3..=8).contains(&r.get(1)));
+                assert!((10..=40).contains(&r.get(2)));
+                got += 1;
+            },
+        )
+        .unwrap();
+        let want = reference_count(&db, t, &[(0, 2, 5), (1, 3, 8), (2, 10, 40)]);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,53 @@
+//! Physical operators.
+//!
+//! Each operator is a plain function (or small struct) that really performs
+//! its work against the storage substrate and charges every page access and
+//! unit of CPU to the [`robustmap_storage::Session`].  Rows flow into
+//! caller-provided sinks (`FnMut(&Row)`), so no operator materialises
+//! output it does not need for its own algorithm.
+
+pub mod agg;
+pub mod fetch;
+pub mod index_scan;
+pub mod join;
+pub mod mdam;
+pub mod parallel_scan;
+pub mod rid_join;
+pub mod sort;
+pub mod table_scan;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use robustmap_storage::{ColumnType, Database, Row, Schema, TableId};
+
+    /// A small three-column table: `a` and `b` are value permutations so a
+    /// predicate `col < t` has exactly `t` matches; `c = 7 * row_number`.
+    ///
+    /// Returns the database and the table id.  Indexes are created by the
+    /// individual tests as needed.
+    pub fn demo_db(n: i64) -> (Database, TableId) {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]);
+        let t = db.create_table("demo", schema);
+        for i in 0..n {
+            // Multiplicative permutations of 0..n (odd multipliers are
+            // invertible mod powers of two; for general n use a co-prime).
+            let a = (i * 7919) % n;
+            let b = (i * 104_729) % n;
+            db.insert_row(t, &Row::from_slice(&[a, b, i * 7])).unwrap();
+        }
+        (db, t)
+    }
+
+    /// All rows of the table, in physical order, without charging anyone.
+    pub fn all_rows(db: &Database, t: TableId) -> Vec<Row> {
+        let s = robustmap_storage::Session::with_pool_pages(0);
+        let mut rows = Vec::new();
+        db.table(t).heap.scan(&s, |_, row| rows.push(*row));
+        rows
+    }
+}

@@ -1,0 +1,258 @@
+//! Property-based tests for the executor: every physical plan shape must
+//! agree with a naive reference evaluation on randomly generated tables
+//! and predicates, and the memory-bounded operators must match their
+//! in-memory equivalents for any grant.
+
+use proptest::prelude::*;
+use robustmap_executor::{
+    execute_collect, AggFn, ColRange, ExecCtx, FetchKind, ImprovedFetchConfig, IndexRangeSpec,
+    IntersectAlgo, KeyRange, PlanSpec, Predicate, Projection, SpillMode,
+};
+use robustmap_storage::{ColumnType, Database, Row, Schema, Session, TableId};
+
+/// Build a table with columns (a, b, c) from explicit tuples.
+fn db_from(rows: &[(i64, i64, i64)]) -> (Database, TableId) {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        ("a", ColumnType::Int),
+        ("b", ColumnType::Int),
+        ("c", ColumnType::Int),
+    ]);
+    let t = db.create_table("t", schema);
+    for &(a, b, c) in rows {
+        db.insert_row(t, &Row::from_slice(&[a, b, c])).unwrap();
+    }
+    (db, t)
+}
+
+fn sorted_rows(rows: Vec<Row>) -> Vec<Vec<i64>> {
+    let mut v: Vec<Vec<i64>> = rows.iter().map(|r| r.values().to_vec()).collect();
+    v.sort();
+    v
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    prop::collection::vec((-50i64..50, -50i64..50, -50i64..50), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Table scan, single-index fetches (all three disciplines), index
+    /// intersections (all algorithms/orders) and the covering scan agree
+    /// with a filter over the raw tuples.
+    #[test]
+    fn all_plan_shapes_match_reference(
+        rows in rows_strategy(),
+        ta in -60i64..60,
+        tb in -60i64..60,
+    ) {
+        let (mut db, t) = db_from(&rows);
+        let idx_a = db.create_index("ia", t, &[0]).unwrap();
+        let idx_b = db.create_index("ib", t, &[1]).unwrap();
+        let idx_ab = db.create_index("iab", t, &[0, 1]).unwrap();
+
+        let reference: Vec<Vec<i64>> = {
+            let mut v: Vec<Vec<i64>> = rows
+                .iter()
+                .filter(|&&(a, b, _)| a <= ta && b <= tb)
+                .map(|&(a, b, c)| vec![a, b, c])
+                .collect();
+            v.sort();
+            v
+        };
+
+        let improved = FetchKind::Improved(ImprovedFetchConfig::default());
+        let plans = vec![
+            PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::all_of(vec![ColRange::at_most(0, ta), ColRange::at_most(1, tb)]),
+                project: Projection::All,
+            },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+                key_filter: Predicate::always_true(),
+                fetch: FetchKind::Traditional,
+                residual: Predicate::single(ColRange::at_most(1, tb)),
+                project: Projection::All,
+            },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, tb, 1) },
+                key_filter: Predicate::always_true(),
+                fetch: improved,
+                residual: Predicate::single(ColRange::at_most(0, ta)),
+                project: Projection::All,
+            },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_ab, range: KeyRange::on_leading(i64::MIN, ta, 2) },
+                key_filter: Predicate::single(ColRange::at_most(1, tb)),
+                fetch: FetchKind::BitmapSorted,
+                residual: Predicate::always_true(),
+                project: Projection::All,
+            },
+            PlanSpec::IndexIntersect {
+                left: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+                right: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, tb, 1) },
+                algo: IntersectAlgo::MergeJoin,
+                fetch: improved,
+                residual: Predicate::always_true(),
+                project: Projection::All,
+            },
+            PlanSpec::IndexIntersect {
+                left: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, tb, 1) },
+                right: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+                algo: IntersectAlgo::HashJoin { build_left: false },
+                fetch: FetchKind::BitmapSorted,
+                residual: Predicate::always_true(),
+                project: Projection::All,
+            },
+        ];
+        for plan in &plans {
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (_, got) = execute_collect(plan, &ctx).unwrap();
+            prop_assert_eq!(sorted_rows(got), reference.clone(), "{}", plan.synopsis());
+        }
+        // Covering and MDAM plans emit (a, b) key rows; compare counts.
+        let covering = PlanSpec::CoveringIndexScan {
+            scan: IndexRangeSpec { index: idx_ab, range: KeyRange::on_leading(i64::MIN, ta, 2) },
+            residual: Predicate::single(ColRange::at_most(1, tb)),
+            project: Projection::All,
+        };
+        let mdam = PlanSpec::Mdam {
+            index: idx_ab,
+            col_ranges: vec![(i64::MIN, ta), (i64::MIN, tb)],
+            project: Projection::All,
+        };
+        for plan in [&covering, &mdam] {
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (stats, _) = execute_collect(plan, &ctx).unwrap();
+            prop_assert_eq!(stats.rows_out as usize, reference.len(), "{}", plan.synopsis());
+        }
+    }
+
+    /// MDAM with arbitrary per-column boxes equals a filtered scan.
+    #[test]
+    fn mdam_boxes_match_filter(
+        rows in rows_strategy(),
+        bounds in ((-60i64..60), (-60i64..60), (-60i64..60), (-60i64..60)),
+    ) {
+        let (alo, ahi, blo, bhi) = bounds;
+        let (mut db, t) = db_from(&rows);
+        let idx_ab = db.create_index("iab", t, &[0, 1]).unwrap();
+        let want = rows
+            .iter()
+            .filter(|&&(a, b, _)| alo <= a && a <= ahi && blo <= b && b <= bhi)
+            .count() as u64;
+        let plan = PlanSpec::Mdam {
+            index: idx_ab,
+            col_ranges: vec![(alo, ahi), (blo, bhi)],
+            project: Projection::All,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (stats, got) = execute_collect(&plan, &ctx).unwrap();
+        prop_assert_eq!(stats.rows_out, want);
+        for r in got {
+            prop_assert!(alo <= r.get(0) && r.get(0) <= ahi);
+            prop_assert!(blo <= r.get(1) && r.get(1) <= bhi);
+        }
+    }
+
+    /// External sort equals std sort for any memory grant and either spill
+    /// mode, and spills exactly when the input exceeds the grant's row
+    /// capacity.
+    #[test]
+    fn sort_plan_equals_std_sort(
+        rows in rows_strategy(),
+        memory_kib in 1usize..64,
+        abrupt in any::<bool>(),
+    ) {
+        let (db, t) = db_from(&rows);
+        let plan = PlanSpec::Sort {
+            input: Box::new(PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::always_true(),
+                project: Projection::All,
+            }),
+            key_cols: vec![2, 0],
+            mode: if abrupt { SpillMode::Abrupt } else { SpillMode::Graceful },
+            memory_bytes: memory_kib * 1024,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (_, got) = execute_collect(&plan, &ctx).unwrap();
+        let got: Vec<Vec<i64>> = got.iter().map(|r| r.values().to_vec()).collect();
+        let mut want: Vec<Vec<i64>> = rows.iter().map(|&(a, b, c)| vec![a, b, c]).collect();
+        want.sort_by(|x, y| (x[2], x[0], &x[..]).cmp(&(y[2], y[0], &y[..])));
+        prop_assert_eq!(got.len(), want.len());
+        // Compare by sort keys only (ties may order by full row).
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!((g[2], g[0]), (w[2], w[0]));
+        }
+    }
+
+    /// Hash aggregation equals a reference group-by for any grant and mode.
+    #[test]
+    fn agg_plan_equals_reference(
+        rows in rows_strategy(),
+        memory_kib in 1usize..64,
+        abrupt in any::<bool>(),
+    ) {
+        use std::collections::BTreeMap;
+        let (db, t) = db_from(&rows);
+        let plan = PlanSpec::HashAgg {
+            input: Box::new(PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::always_true(),
+                project: Projection::All,
+            }),
+            group_cols: vec![0],
+            aggs: vec![AggFn::CountStar, AggFn::Sum(2), AggFn::Min(1), AggFn::Max(1)],
+            mode: if abrupt { SpillMode::Abrupt } else { SpillMode::Graceful },
+            memory_bytes: memory_kib * 1024,
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (_, got) = execute_collect(&plan, &ctx).unwrap();
+        let mut want: BTreeMap<i64, (i64, i64, i64, i64)> = BTreeMap::new();
+        for &(a, b, c) in &rows {
+            let e = want.entry(a).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += 1;
+            e.1 += c;
+            e.2 = e.2.min(b);
+            e.3 = e.3.max(b);
+        }
+        prop_assert_eq!(got.len(), want.len());
+        for (row, (&g, &(cnt, sum, mn, mx))) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(row.values(), &[g, cnt, sum, mn, mx]);
+        }
+    }
+
+    /// Projections commute: projecting in the plan equals projecting the
+    /// unprojected output.
+    #[test]
+    fn projection_commutes(rows in rows_strategy(), ta in -60i64..60) {
+        let (db, t) = db_from(&rows);
+        let full = PlanSpec::TableScan {
+            table: t,
+            pred: Predicate::single(ColRange::at_most(0, ta)),
+            project: Projection::All,
+        };
+        let projected = PlanSpec::TableScan {
+            table: t,
+            pred: Predicate::single(ColRange::at_most(0, ta)),
+            project: Projection::Columns(vec![2, 1]),
+        };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (_, rows_full) = execute_collect(&full, &ctx).unwrap();
+        let ctx2 = ExecCtx::new(&db, &s, 1 << 20);
+        let (_, rows_proj) = execute_collect(&projected, &ctx2).unwrap();
+        let manual: Vec<Vec<i64>> =
+            rows_full.iter().map(|r| vec![r.get(2), r.get(1)]).collect();
+        let got: Vec<Vec<i64>> = rows_proj.iter().map(|r| r.values().to_vec()).collect();
+        prop_assert_eq!(got, manual);
+    }
+}

@@ -1,0 +1,349 @@
+//! Buffer pool: a cache simulator over page identities.
+//!
+//! The engine keeps all data in memory (it is a simulator), so the pool does
+//! not hold page frames — it tracks *which* pages would be resident and
+//! answers hit/miss.  The paper calls out the buffer pool as one of the
+//! run-time conditions that shape robustness (§3: "resources (memory, I/O
+//! bandwidth)"), so pool capacity is a first-class sweep dimension.
+//!
+//! Two classic replacement policies are provided: LRU (exact, via an
+//! intrusive doubly-linked list over a slot arena) and Clock (second
+//! chance).
+
+use std::collections::HashMap;
+
+/// Identifies a storage "file": one heap or one B+-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Globally unique page identity: a page number within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Which heap or index the page belongs to.
+    pub file: FileId,
+    /// Page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Construct a page id.
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageId { file, page }
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file.0, self.page)
+    }
+}
+
+/// Page replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Exact least-recently-used.
+    #[default]
+    Lru,
+    /// Clock / second-chance approximation of LRU.
+    Clock,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    page: PageId,
+    prev: usize,
+    next: usize,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache simulator.
+///
+/// `access` reports whether a page was resident and makes it resident
+/// (evicting if needed).  A capacity of zero disables caching entirely —
+/// every access misses — and `unbounded` never evicts.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    policy: EvictionPolicy,
+    map: HashMap<PageId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most-recently-used (LRU) / unused by Clock
+    tail: usize, // least-recently-used (LRU) / unused by Clock
+    hand: usize, // clock hand (Clock policy)
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity_pages` pages under `policy`.
+    pub fn new(capacity_pages: usize, policy: EvictionPolicy) -> Self {
+        BufferPool {
+            capacity: capacity_pages,
+            policy,
+            map: HashMap::with_capacity(capacity_pages.min(1 << 20)),
+            slots: Vec::with_capacity(capacity_pages.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Pool that never evicts (models "everything fits in memory").
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX / 2, EvictionPolicy::Lru)
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// (hits, misses, evictions) since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Touch `page`: returns `true` on a hit, `false` on a miss.  On a miss
+    /// the page becomes resident, evicting another page if at capacity.
+    pub fn access(&mut self, page: PageId) -> bool {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return false;
+        }
+        if let Some(&slot) = self.map.get(&page) {
+            self.hits += 1;
+            self.slots[slot].referenced = true;
+            if self.policy == EvictionPolicy::Lru {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            self.evict_one();
+        }
+        let slot = self.alloc_slot(page);
+        self.map.insert(page, slot);
+        if self.policy == EvictionPolicy::Lru {
+            self.push_front(slot);
+        }
+        false
+    }
+
+    /// Drop every page of `file` from the pool (e.g. a temp file deleted
+    /// after a sort run is consumed).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        let victims: Vec<PageId> =
+            self.map.keys().filter(|p| p.file == file).copied().collect();
+        for page in victims {
+            let slot = self.map.remove(&page).expect("present");
+            if self.policy == EvictionPolicy::Lru {
+                self.unlink(slot);
+            }
+            self.free_slot(slot);
+        }
+    }
+
+    /// Whether `page` is currently resident (does not update recency).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn alloc_slot(&mut self, page: PageId) -> usize {
+        let slot = Slot { page, prev: NIL, next: NIL, referenced: true };
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx] = slot;
+            idx
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        }
+    }
+
+    fn free_slot(&mut self, slot: usize) {
+        self.free.push(slot);
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+        self.slots[slot].referenced = false;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn evict_one(&mut self) {
+        self.evictions += 1;
+        match self.policy {
+            EvictionPolicy::Lru => {
+                let victim = self.tail;
+                debug_assert_ne!(victim, NIL, "evicting from empty pool");
+                self.unlink(victim);
+                let page = self.slots[victim].page;
+                self.map.remove(&page);
+                self.free_slot(victim);
+            }
+            EvictionPolicy::Clock => {
+                // Sweep the slot arena as a circular buffer, clearing
+                // reference bits until an unreferenced resident slot is hit.
+                loop {
+                    if self.slots.is_empty() {
+                        return;
+                    }
+                    let idx = self.hand % self.slots.len();
+                    self.hand = (self.hand + 1) % self.slots.len();
+                    let page = self.slots[idx].page;
+                    if self.map.get(&page) != Some(&idx) {
+                        continue; // freed slot
+                    }
+                    if self.slots[idx].referenced {
+                        self.slots[idx].referenced = false;
+                    } else {
+                        self.map.remove(&page);
+                        self.free_slot(idx);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u32) -> PageId {
+        PageId::new(FileId(0), p)
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut pool = BufferPool::new(0, EvictionPolicy::Lru);
+        assert!(!pool.access(pid(1)));
+        assert!(!pool.access(pid(1)));
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut pool = BufferPool::new(4, EvictionPolicy::Lru);
+        assert!(!pool.access(pid(1)));
+        assert!(pool.access(pid(1)));
+        assert!(pool.access(pid(1)));
+        assert_eq!(pool.counters(), (2, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = BufferPool::new(2, EvictionPolicy::Lru);
+        pool.access(pid(1));
+        pool.access(pid(2));
+        pool.access(pid(1)); // 2 is now LRU
+        pool.access(pid(3)); // evicts 2
+        assert!(pool.contains(pid(1)));
+        assert!(!pool.contains(pid(2)));
+        assert!(pool.contains(pid(3)));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut pool = BufferPool::new(2, EvictionPolicy::Clock);
+        pool.access(pid(1));
+        pool.access(pid(2));
+        // Both referenced; clock clears bits then evicts one of them.
+        pool.access(pid(3));
+        assert_eq!(pool.resident(), 2);
+        assert!(pool.contains(pid(3)));
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock] {
+            let mut pool = BufferPool::new(8, policy);
+            for i in 0..1000u32 {
+                pool.access(pid(i % 50));
+                assert!(pool.resident() <= 8, "{policy:?} overflowed");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_pool_never_hits_lru() {
+        let mut pool = BufferPool::new(8, EvictionPolicy::Lru);
+        let mut hits = 0;
+        for round in 0..3 {
+            for i in 0..64u32 {
+                if pool.access(pid(i)) {
+                    hits += 1;
+                }
+            }
+            // Classic LRU sequential-flooding: no reuse at all.
+            assert_eq!(hits, 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let mut pool = BufferPool::new(16, EvictionPolicy::Lru);
+        pool.access(PageId::new(FileId(1), 0));
+        pool.access(PageId::new(FileId(1), 1));
+        pool.access(PageId::new(FileId(2), 0));
+        pool.invalidate_file(FileId(1));
+        assert!(!pool.contains(PageId::new(FileId(1), 0)));
+        assert!(pool.contains(PageId::new(FileId(2), 0)));
+        assert_eq!(pool.resident(), 1);
+        // Pool continues to function after invalidation.
+        for i in 0..40u32 {
+            pool.access(PageId::new(FileId(3), i));
+        }
+        assert_eq!(pool.resident(), 16);
+    }
+
+    #[test]
+    fn unbounded_pool_never_evicts() {
+        let mut pool = BufferPool::unbounded();
+        for i in 0..10_000u32 {
+            pool.access(pid(i));
+        }
+        assert_eq!(pool.resident(), 10_000);
+        assert_eq!(pool.counters().2, 0);
+    }
+}

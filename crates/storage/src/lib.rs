@@ -1,0 +1,81 @@
+//! # robustmap-storage
+//!
+//! Storage substrate for the robustness-map reproduction of Graefe, Kuno &
+//! Wiener, *Visualizing the robustness of query execution* (CIDR 2009).
+//!
+//! The paper measures the run-time behaviour of fixed query execution plans
+//! on three commercial database systems.  This crate provides the storage
+//! engine those measurements need, built from scratch:
+//!
+//! * [`page`] — real slotted pages over 8 KiB byte buffers,
+//! * [`heap`] — heap files (a table's main storage structure),
+//! * [`btree`] — B+-trees with single- and multi-column keys, range cursors,
+//!   inserts with splits and deletes with rebalancing, plus bulk loading,
+//! * [`bitmap`] — row-id bitmaps for bitmap-driven sorted fetches,
+//! * [`buffer`] — a buffer pool (LRU or Clock) that simulates caching,
+//! * [`sim`] — the deterministic I/O + CPU cost model that stands in for the
+//!   paper's wall-clock measurements on real hardware,
+//! * [`session`] — per-query accounting context tying the above together,
+//! * [`schema`] / [`table`] — rows, columns and the catalog.
+//!
+//! ## Why simulated time?
+//!
+//! Every operator in the executor crate *really executes*: it walks real
+//! B+-tree nodes, reads real slotted pages and produces real rows.  Only the
+//! *clock* is simulated: each page access is classified as sequential,
+//! single-page or random and charged HDD-era costs, and CPU work is charged
+//! per row / comparison / hash.  This preserves the *shapes* the paper is
+//! about — constant table scans, random-I/O-bound index fetches, break-even
+//! points, spill discontinuities — while being deterministic and
+//! hardware-independent.
+
+pub mod bitmap;
+pub mod btree;
+pub mod buffer;
+pub mod heap;
+pub mod page;
+pub mod schema;
+pub mod session;
+pub mod sim;
+pub mod table;
+
+pub use bitmap::RidBitmap;
+pub use btree::{BTree, Key};
+pub use buffer::{BufferPool, EvictionPolicy, FileId, PageId};
+pub use heap::{HeapFile, Rid};
+pub use page::{SlottedPage, PAGE_SIZE};
+pub use schema::{ColumnType, Row, Schema, MAX_COLUMNS};
+pub use session::Session;
+pub use sim::{AccessKind, CostModel, IoStats, SimClock};
+pub use table::{Database, IndexDef, IndexId, Table, TableId};
+
+/// Errors reported by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record did not fit in a page (record length, page capacity).
+    RecordTooLarge { len: usize, cap: usize },
+    /// A row id referenced a page or slot that does not exist.
+    InvalidRid(Rid),
+    /// A table or index name was not found in the catalog.
+    UnknownObject(String),
+    /// A row had more columns than [`MAX_COLUMNS`] or mismatched the schema.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { len, cap } => {
+                write!(f, "record of {len} bytes exceeds page capacity {cap}")
+            }
+            StorageError::InvalidRid(rid) => write!(f, "invalid rid {rid}"),
+            StorageError::UnknownObject(name) => write!(f, "unknown table or index: {name}"),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

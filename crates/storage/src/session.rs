@@ -1,0 +1,165 @@
+//! Per-query accounting context.
+//!
+//! A [`Session`] bundles the cost model, the simulated clock and a private
+//! buffer pool.  Each measured query execution gets a fresh session so that
+//! map cells are independent and deterministic regardless of the order (or
+//! thread) in which the map builder visits them — mirroring the paper's
+//! practice of measuring each plan/parameter combination in isolation.
+
+use std::cell::RefCell;
+
+use crate::buffer::{BufferPool, EvictionPolicy, FileId, PageId};
+use crate::sim::{AccessKind, CostModel, IoStats, SimClock};
+
+/// Execution context charging all storage traffic to a simulated clock.
+///
+/// Methods take `&self`; interior mutability keeps operator code free of
+/// borrow gymnastics (a session is single-threaded by construction).
+pub struct Session {
+    model: CostModel,
+    clock: SimClock,
+    pool: RefCell<BufferPool>,
+}
+
+impl Session {
+    /// Session with an explicit cost model and buffer pool.
+    pub fn new(model: CostModel, pool: BufferPool) -> Self {
+        Session { model, clock: SimClock::new(), pool: RefCell::new(pool) }
+    }
+
+    /// Session with the default HDD model and a pool of `pool_pages` pages
+    /// under LRU replacement.
+    pub fn with_pool_pages(pool_pages: usize) -> Self {
+        Self::new(CostModel::hdd_2009(), BufferPool::new(pool_pages, EvictionPolicy::Lru))
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The clock (for operators charging modelled CPU work directly).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.elapsed()
+    }
+
+    /// Snapshot of all work counters.
+    pub fn stats(&self) -> IoStats {
+        self.clock.stats()
+    }
+
+    /// Read `page` with the given access pattern: a buffer hit charges the
+    /// hit cost, a miss charges the disk cost for `kind`.
+    #[inline]
+    pub fn read_page(&self, page: PageId, kind: AccessKind) {
+        if self.pool.borrow_mut().access(page) {
+            self.clock.charge_buffer_hit(&self.model);
+        } else {
+            self.clock.charge_read(&self.model, kind);
+        }
+    }
+
+    /// Write `page` (spill files); the page becomes pool-resident.
+    #[inline]
+    pub fn write_page(&self, page: PageId) {
+        self.clock.charge_write(&self.model);
+        self.pool.borrow_mut().access(page);
+    }
+
+    /// Drop a whole temp file from the pool (its pages will not be reused).
+    pub fn invalidate_file(&self, file: FileId) {
+        self.pool.borrow_mut().invalidate_file(file);
+    }
+
+    /// Charge CPU for `n` rows.
+    #[inline]
+    pub fn charge_rows(&self, n: u64) {
+        self.clock.charge_rows(&self.model, n);
+    }
+
+    /// Charge CPU for `n` comparisons.
+    #[inline]
+    pub fn charge_compares(&self, n: u64) {
+        self.clock.charge_compares(&self.model, n);
+    }
+
+    /// Charge CPU for `n` hash operations.
+    #[inline]
+    pub fn charge_hashes(&self, n: u64) {
+        self.clock.charge_hashes(&self.model, n);
+    }
+
+    /// Buffer pool hit/miss/eviction counters.
+    pub fn pool_counters(&self) -> (u64, u64, u64) {
+        self.pool.borrow().counters()
+    }
+
+    /// Buffer pool capacity in pages.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.borrow().capacity()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("elapsed", &self.elapsed())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(p: u32) -> PageId {
+        PageId::new(FileId(7), p)
+    }
+
+    #[test]
+    fn miss_then_hit_charges_differently() {
+        let s = Session::with_pool_pages(8);
+        s.read_page(pid(0), AccessKind::Random);
+        let after_miss = s.elapsed();
+        s.read_page(pid(0), AccessKind::Random);
+        let after_hit = s.elapsed() - after_miss;
+        assert!((after_miss - s.model().random_page_read).abs() < 1e-12);
+        assert!((after_hit - s.model().cpu_buffer_hit).abs() < 1e-12);
+        assert_eq!(s.stats().random_reads, 1);
+        assert_eq!(s.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn zero_pool_always_pays_disk() {
+        let s = Session::with_pool_pages(0);
+        for _ in 0..5 {
+            s.read_page(pid(3), AccessKind::Sequential);
+        }
+        assert_eq!(s.stats().seq_reads, 5);
+        assert_eq!(s.stats().buffer_hits, 0);
+    }
+
+    #[test]
+    fn writes_populate_pool() {
+        let s = Session::with_pool_pages(8);
+        s.write_page(pid(1));
+        s.read_page(pid(1), AccessKind::Random);
+        assert_eq!(s.stats().buffer_hits, 1);
+        assert_eq!(s.stats().page_writes, 1);
+    }
+
+    #[test]
+    fn invalidate_forces_reread() {
+        let s = Session::with_pool_pages(8);
+        s.read_page(pid(1), AccessKind::Random);
+        s.invalidate_file(FileId(7));
+        s.read_page(pid(1), AccessKind::Random);
+        assert_eq!(s.stats().random_reads, 2);
+    }
+}

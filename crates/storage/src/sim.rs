@@ -1,0 +1,360 @@
+//! Deterministic cost model and simulated clock.
+//!
+//! The paper's robustness maps plot *measured elapsed times* on real
+//! hardware.  We replace the hardware with a cost model: operators still do
+//! all their real work against real data structures, and every page access
+//! and unit of CPU work is charged to a [`SimClock`].  The constants below
+//! are calibrated so that the landmark features of the paper's Figure 1
+//! (break-even points, relative factors) appear at the selectivities the
+//! paper reports; see `EXPERIMENTS.md` for the calibration record.
+
+use std::cell::Cell;
+
+/// How a page access hits the (simulated) disk.
+///
+/// The distinction drives the paper's central effects: a table scan issues
+/// large sequential reads, a traditional index fetch issues one random read
+/// per qualifying row, and the "improved" index scan converts random reads
+/// into (slower-than-scan) single-page in-order reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Part of a multi-page read-ahead run (table scans, bulk leaf scans).
+    Sequential,
+    /// In physical order but fetched one page at a time (no read-ahead).
+    SinglePage,
+    /// A seek to an unrelated location (index fetch of a scattered row).
+    Random,
+}
+
+/// Cost constants for the simulated machine.
+///
+/// All times are in seconds.  The defaults model a 2009-era enterprise disk
+/// subsystem, matching the paper's experimental environment; alternative
+/// presets support ablations over the memory hierarchy (paper §4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Page size in bytes (fixed by [`crate::page::PAGE_SIZE`], recorded
+    /// here for reporting).
+    pub page_size: usize,
+    /// Cost of one page inside a sequential read-ahead run.
+    pub seq_page_read: f64,
+    /// Cost of a page read in physical order but without read-ahead.
+    pub single_page_read: f64,
+    /// Cost of a random page read (seek + rotational delay + transfer).
+    pub random_page_read: f64,
+    /// Cost of writing one page (run files, spill partitions).
+    pub page_write: f64,
+    /// CPU cost of producing/consuming one row.
+    pub cpu_row: f64,
+    /// CPU cost of one key comparison.
+    pub cpu_compare: f64,
+    /// CPU cost of one hash-table operation (hash + probe step).
+    pub cpu_hash: f64,
+    /// CPU cost of looking a page up in the buffer pool (charged on hits).
+    pub cpu_buffer_hit: f64,
+    /// Fixed cost of starting/coordinating one parallel worker.
+    pub parallel_startup: f64,
+}
+
+impl CostModel {
+    /// 2009-era disk-subsystem constants (the paper's hardware
+    /// generation: an enterprise RAID array, where parallel spindles and
+    /// command queueing push *effective* random reads below a single
+    /// drive's seek time).
+    ///
+    /// Calibration: the traditional index fetch breaks even with the table
+    /// scan when the result has about `heap_pages * seq_page_read /
+    /// random_page_read` rows.  With the default workload's ~186 rows per
+    /// 8 KiB page, `random = 0.7 ms` puts that break-even at `~2^-11` of
+    /// the table — where Figure 1 of the paper reports it.  The
+    /// single-page/sequential ratio of 2.5 reproduces the paper's "about
+    /// 2.5 times worse than a table scan" for the improved index scan at
+    /// selectivity 1.  `EXPERIMENTS.md` records the measured landmarks.
+    pub fn hdd_2009() -> Self {
+        CostModel {
+            page_size: crate::page::PAGE_SIZE,
+            seq_page_read: 40e-6,
+            single_page_read: 100e-6,
+            random_page_read: 0.7e-3,
+            page_write: 100e-6,
+            cpu_row: 50e-9,
+            cpu_compare: 5e-9,
+            cpu_hash: 20e-9,
+            cpu_buffer_hit: 1e-7,
+            parallel_startup: 0.5e-3,
+        }
+    }
+
+    /// An SSD-like preset: random reads only modestly more expensive than
+    /// sequential ones.  Used by ablation benches to show how robustness
+    /// landmarks move with the storage hierarchy.
+    pub fn ssd() -> Self {
+        CostModel {
+            random_page_read: 120e-6,
+            single_page_read: 60e-6,
+            seq_page_read: 30e-6,
+            page_write: 80e-6,
+            ..Self::hdd_2009()
+        }
+    }
+
+    /// A memory-resident preset: all page accesses cost a buffer hit, so
+    /// only CPU effects remain.  Useful to isolate algorithmic CPU shapes.
+    pub fn in_memory() -> Self {
+        CostModel {
+            random_page_read: 1e-7,
+            single_page_read: 1e-7,
+            seq_page_read: 1e-7,
+            page_write: 1e-7,
+            ..Self::hdd_2009()
+        }
+    }
+
+    /// Cost of a disk read of the given kind.
+    #[inline]
+    pub fn read_cost(&self, kind: AccessKind) -> f64 {
+        match kind {
+            AccessKind::Sequential => self.seq_page_read,
+            AccessKind::SinglePage => self.single_page_read,
+            AccessKind::Random => self.random_page_read,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::hdd_2009()
+    }
+}
+
+/// Counters describing the I/O and CPU work a query performed.
+///
+/// A plain-old-data snapshot; obtained from [`SimClock::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read as part of sequential read-ahead runs.
+    pub seq_reads: u64,
+    /// Pages read in order but one page at a time.
+    pub single_reads: u64,
+    /// Random page reads.
+    pub random_reads: u64,
+    /// Pages written (sort runs, spill partitions).
+    pub page_writes: u64,
+    /// Page requests satisfied by the buffer pool.
+    pub buffer_hits: u64,
+    /// Rows processed.
+    pub cpu_rows: u64,
+    /// Key comparisons performed.
+    pub cpu_compares: u64,
+    /// Hash-table operations performed.
+    pub cpu_hashes: u64,
+}
+
+impl IoStats {
+    /// Total pages read from the simulated disk (misses only).
+    pub fn pages_read(&self) -> u64 {
+        self.seq_reads + self.single_reads + self.random_reads
+    }
+
+    /// Total page requests, including buffer hits.
+    pub fn page_requests(&self) -> u64 {
+        self.pages_read() + self.buffer_hits
+    }
+
+    /// Element-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            seq_reads: self.seq_reads.saturating_sub(earlier.seq_reads),
+            single_reads: self.single_reads.saturating_sub(earlier.single_reads),
+            random_reads: self.random_reads.saturating_sub(earlier.random_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+            cpu_rows: self.cpu_rows.saturating_sub(earlier.cpu_rows),
+            cpu_compares: self.cpu_compares.saturating_sub(earlier.cpu_compares),
+            cpu_hashes: self.cpu_hashes.saturating_sub(earlier.cpu_hashes),
+        }
+    }
+}
+
+/// The simulated clock: accumulates charged seconds and work counters.
+///
+/// Single-threaded by design — each query execution owns one clock — so
+/// interior mutability uses [`Cell`] rather than atomics.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    seconds: Cell<f64>,
+    seq_reads: Cell<u64>,
+    single_reads: Cell<u64>,
+    random_reads: Cell<u64>,
+    page_writes: Cell<u64>,
+    buffer_hits: Cell<u64>,
+    cpu_rows: Cell<u64>,
+    cpu_compares: Cell<u64>,
+    cpu_hashes: Cell<u64>,
+}
+
+impl SimClock {
+    /// A fresh clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulated seconds elapsed so far.
+    #[inline]
+    pub fn elapsed(&self) -> f64 {
+        self.seconds.get()
+    }
+
+    /// Charge an arbitrary duration (used by operators for modelled work
+    /// that has no dedicated counter).
+    #[inline]
+    pub fn charge(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot charge negative time");
+        self.seconds.set(self.seconds.get() + seconds);
+    }
+
+    /// Charge a disk read of `kind` under `model` and count it.
+    #[inline]
+    pub fn charge_read(&self, model: &CostModel, kind: AccessKind) {
+        self.charge(model.read_cost(kind));
+        let counter = match kind {
+            AccessKind::Sequential => &self.seq_reads,
+            AccessKind::SinglePage => &self.single_reads,
+            AccessKind::Random => &self.random_reads,
+        };
+        counter.set(counter.get() + 1);
+    }
+
+    /// Charge a page write and count it.
+    #[inline]
+    pub fn charge_write(&self, model: &CostModel) {
+        self.charge(model.page_write);
+        self.page_writes.set(self.page_writes.get() + 1);
+    }
+
+    /// Charge a buffer-pool hit and count it.
+    #[inline]
+    pub fn charge_buffer_hit(&self, model: &CostModel) {
+        self.charge(model.cpu_buffer_hit);
+        self.buffer_hits.set(self.buffer_hits.get() + 1);
+    }
+
+    /// Charge CPU for processing `n` rows.
+    #[inline]
+    pub fn charge_rows(&self, model: &CostModel, n: u64) {
+        self.charge(model.cpu_row * n as f64);
+        self.cpu_rows.set(self.cpu_rows.get() + n);
+    }
+
+    /// Charge CPU for `n` key comparisons.
+    #[inline]
+    pub fn charge_compares(&self, model: &CostModel, n: u64) {
+        self.charge(model.cpu_compare * n as f64);
+        self.cpu_compares.set(self.cpu_compares.get() + n);
+    }
+
+    /// Charge CPU for `n` hash-table operations.
+    #[inline]
+    pub fn charge_hashes(&self, model: &CostModel, n: u64) {
+        self.charge(model.cpu_hash * n as f64);
+        self.cpu_hashes.set(self.cpu_hashes.get() + n);
+    }
+
+    /// Add another execution's counters without advancing time.  Parallel
+    /// operators use this: total work is the sum over workers, while
+    /// elapsed time is the critical path (charged separately via
+    /// [`SimClock::charge`]).
+    pub fn add_counters(&self, stats: &IoStats) {
+        self.seq_reads.set(self.seq_reads.get() + stats.seq_reads);
+        self.single_reads.set(self.single_reads.get() + stats.single_reads);
+        self.random_reads.set(self.random_reads.get() + stats.random_reads);
+        self.page_writes.set(self.page_writes.get() + stats.page_writes);
+        self.buffer_hits.set(self.buffer_hits.get() + stats.buffer_hits);
+        self.cpu_rows.set(self.cpu_rows.get() + stats.cpu_rows);
+        self.cpu_compares.set(self.cpu_compares.get() + stats.cpu_compares);
+        self.cpu_hashes.set(self.cpu_hashes.get() + stats.cpu_hashes);
+    }
+
+    /// Snapshot the work counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            seq_reads: self.seq_reads.get(),
+            single_reads: self.single_reads.get(),
+            random_reads: self.random_reads.get(),
+            page_writes: self.page_writes.get(),
+            buffer_hits: self.buffer_hits.get(),
+            cpu_rows: self.cpu_rows.get(),
+            cpu_compares: self.cpu_compares.get(),
+            cpu_hashes: self.cpu_hashes.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_costs_are_ordered() {
+        let m = CostModel::hdd_2009();
+        assert!(m.seq_page_read < m.single_page_read);
+        assert!(m.single_page_read < m.random_page_read);
+    }
+
+    #[test]
+    fn presets_differ_in_random_penalty() {
+        let hdd = CostModel::hdd_2009();
+        let ssd = CostModel::ssd();
+        let mem = CostModel::in_memory();
+        let penalty = |m: &CostModel| m.random_page_read / m.seq_page_read;
+        assert!(penalty(&hdd) > penalty(&ssd));
+        assert!(penalty(&ssd) > penalty(&mem) || penalty(&mem) <= 2.0);
+    }
+
+    #[test]
+    fn clock_accumulates_reads() {
+        let m = CostModel::hdd_2009();
+        let c = SimClock::new();
+        c.charge_read(&m, AccessKind::Sequential);
+        c.charge_read(&m, AccessKind::Random);
+        c.charge_read(&m, AccessKind::Random);
+        let s = c.stats();
+        assert_eq!(s.seq_reads, 1);
+        assert_eq!(s.random_reads, 2);
+        assert_eq!(s.pages_read(), 3);
+        let expected = m.seq_page_read + 2.0 * m.random_page_read;
+        assert!((c.elapsed() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_accumulates_cpu_and_writes() {
+        let m = CostModel::hdd_2009();
+        let c = SimClock::new();
+        c.charge_rows(&m, 100);
+        c.charge_compares(&m, 7);
+        c.charge_hashes(&m, 3);
+        c.charge_write(&m);
+        c.charge_buffer_hit(&m);
+        let s = c.stats();
+        assert_eq!(s.cpu_rows, 100);
+        assert_eq!(s.cpu_compares, 7);
+        assert_eq!(s.cpu_hashes, 3);
+        assert_eq!(s.page_writes, 1);
+        assert_eq!(s.buffer_hits, 1);
+        assert!(c.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let m = CostModel::hdd_2009();
+        let c = SimClock::new();
+        c.charge_read(&m, AccessKind::Random);
+        let before = c.stats();
+        c.charge_read(&m, AccessKind::Random);
+        c.charge_rows(&m, 5);
+        let delta = c.stats().since(&before);
+        assert_eq!(delta.random_reads, 1);
+        assert_eq!(delta.cpu_rows, 5);
+        assert_eq!(delta.seq_reads, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Property-based tests for the storage substrate.
+//!
+//! Strategy: model-based testing.  Each structure is driven by a random
+//! operation sequence and compared against a trivially correct model
+//! (`BTreeMap` / `BTreeSet` / `Vec`), with structural invariants checked
+//! along the way.
+
+use proptest::prelude::*;
+use robustmap_storage::btree::{BTree, Key};
+use robustmap_storage::{
+    AccessKind, ColumnType, EvictionPolicy, FileId, HeapFile, RidBitmap, Row, Schema, Session,
+    SlottedPage,
+};
+use robustmap_storage::heap::Rid;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn session() -> Session {
+    Session::with_pool_pages(64)
+}
+
+// ---------------------------------------------------------------- B+-tree
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64, u32),
+    Delete(i64, u32),
+    Lookup(i64),
+    Range(i64, i64),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0i64..64, 0u32..8).prop_map(|(k, r)| TreeOp::Insert(k, r)),
+        (0i64..64, 0u32..8).prop_map(|(k, r)| TreeOp::Delete(k, r)),
+        (0i64..64).prop_map(TreeOp::Lookup),
+        (0i64..64, 0i64..64).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree behaves exactly like an ordered set of (key, rid) pairs,
+    /// and never violates its structural invariants.
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(tree_op(), 1..300)) {
+        let s = session();
+        // Small caps force frequent splits and merges.
+        let mut tree = BTree::with_caps(FileId(0), 1, 4, 4);
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, r) => {
+                    let inserted = tree.insert(Key::single(k), Rid::new(0, r), &s);
+                    prop_assert_eq!(inserted, model.insert((k, r)));
+                }
+                TreeOp::Delete(k, r) => {
+                    let deleted = tree.delete(Key::single(k), Rid::new(0, r), &s);
+                    prop_assert_eq!(deleted, model.remove(&(k, r)));
+                }
+                TreeOp::Lookup(k) => {
+                    let got = tree.get_first(&Key::single(k), &s);
+                    let want = model
+                        .range((k, 0)..=(k, u32::MAX))
+                        .next()
+                        .map(|&(_, r)| Rid::new(0, r));
+                    prop_assert_eq!(got, want);
+                }
+                TreeOp::Range(lo, hi) => {
+                    let mut got = Vec::new();
+                    tree.scan_range(
+                        &Key::single(lo),
+                        &Key::single(hi),
+                        &s,
+                        AccessKind::Sequential,
+                        |(k, rid)| got.push((k.get(0), rid.slot)),
+                    );
+                    let want: Vec<(i64, u32)> =
+                        model.range((lo, 0)..=(hi, u32::MAX)).copied().collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len() as usize, model.len());
+        }
+        // Final full ordering agreement.
+        let all: Vec<(i64, u32)> =
+            tree.collect_all().iter().map(|(k, r)| (k.get(0), r.slot)).collect();
+        let want: Vec<(i64, u32)> = model.iter().copied().collect();
+        prop_assert_eq!(all, want);
+    }
+
+    /// Bulk load over any sorted unique entry set equals the insert path.
+    #[test]
+    fn btree_bulk_load_equals_inserts(
+        keys in prop::collection::btree_set((0i64..10_000, 0u32..16), 0..400),
+        fill in 0.3f64..1.0,
+    ) {
+        let entries: Vec<(Key, Rid)> = keys
+            .iter()
+            .map(|&(k, r)| (Key::single(k), Rid::new(0, r)))
+            .collect();
+        let bulk = BTree::bulk_load_with_caps(FileId(0), 1, &entries, fill, 8, 8);
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+        let s = session();
+        let mut incremental = BTree::with_caps(FileId(1), 1, 8, 8);
+        for &(k, r) in &entries {
+            incremental.insert(k, r, &s);
+        }
+        prop_assert_eq!(bulk.collect_all(), incremental.collect_all());
+    }
+
+    /// Composite-key prefix scans return exactly the rows a filter would.
+    #[test]
+    fn btree_prefix_scan_equals_filter(
+        pairs in prop::collection::btree_set((0i64..20, 0i64..20), 0..200),
+        probe in 0i64..20,
+    ) {
+        let entries: Vec<(Key, Rid)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (Key::pair(a, b), Rid::new(0, i as u32)))
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+        let tree = BTree::bulk_load_with_caps(FileId(0), 2, &sorted, 0.9, 8, 8);
+        let s = session();
+        let mut got = Vec::new();
+        tree.scan_range(
+            &Key::padded_lo(&[probe], 2),
+            &Key::padded_hi(&[probe], 2),
+            &s,
+            AccessKind::Sequential,
+            |(k, _)| got.push((k.get(0), k.get(1))),
+        );
+        let want: Vec<(i64, i64)> =
+            pairs.iter().copied().filter(|&(a, _)| a == probe).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------- bitmap
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitmap algebra agrees with set algebra, and iteration is sorted.
+    #[test]
+    fn bitmap_matches_set_model(
+        a in prop::collection::btree_set(0u64..100_000, 0..300),
+        b in prop::collection::btree_set(0u64..100_000, 0..300),
+    ) {
+        let ba: RidBitmap = a.iter().copied().collect();
+        let bb: RidBitmap = b.iter().copied().collect();
+        prop_assert_eq!(ba.count() as usize, a.len());
+        prop_assert_eq!(
+            ba.and(&bb).iter().collect::<Vec<_>>(),
+            a.intersection(&b).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            ba.or(&bb).iter().collect::<Vec<_>>(),
+            a.union(&b).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            ba.and_not(&bb).iter().collect::<Vec<_>>(),
+            a.difference(&b).copied().collect::<Vec<_>>()
+        );
+        // Iteration is strictly increasing.
+        let items: Vec<u64> = ba.iter().collect();
+        prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        for &x in &a {
+            prop_assert!(ba.contains(x));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- pages
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert/delete/compact on a slotted page preserves surviving records
+    /// and their slot ids.
+    #[test]
+    fn slotted_page_model(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..40),
+        delete_mask in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut page = SlottedPage::new();
+        let mut model: BTreeMap<usize, Option<Vec<u8>>> = BTreeMap::new();
+        for rec in &records {
+            if !page.fits(rec.len()) {
+                break;
+            }
+            let slot = page.insert(rec).unwrap();
+            model.insert(slot, Some(rec.clone()));
+        }
+        for (i, (&slot, _)) in model.clone().iter().enumerate() {
+            if delete_mask[i % delete_mask.len()] {
+                page.delete(slot).unwrap();
+                model.insert(slot, None);
+            }
+        }
+        page.compact();
+        for (&slot, expect) in &model {
+            prop_assert_eq!(page.get(slot), expect.as_deref());
+        }
+        prop_assert_eq!(
+            page.live_records(),
+            model.values().filter(|v| v.is_some()).count()
+        );
+    }
+}
+
+// ---------------------------------------------------------------- heap
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A heap scan visits exactly the appended rows, in order; fetch by rid
+    /// returns the same row the scan reported.
+    #[test]
+    fn heap_scan_and_fetch_agree(vals in prop::collection::vec((any::<i64>(), any::<i64>()), 1..500)) {
+        let schema = Schema::new(vec![("x", ColumnType::Int), ("y", ColumnType::Int)]);
+        let mut heap = HeapFile::new(FileId(0), schema);
+        let mut rids = Vec::new();
+        for &(x, y) in &vals {
+            rids.push(heap.append(&Row::from_slice(&[x, y])).unwrap());
+        }
+        let s = session();
+        let mut scanned: Vec<(Rid, i64, i64)> = Vec::new();
+        heap.scan(&s, |rid, row| scanned.push((rid, row.get(0), row.get(1))));
+        prop_assert_eq!(scanned.len(), vals.len());
+        for (i, &(rid, x, y)) in scanned.iter().enumerate() {
+            prop_assert_eq!((x, y), vals[i]);
+            let fetched = heap.fetch(rid, &s, AccessKind::Random).unwrap();
+            prop_assert_eq!(fetched.values(), &[x, y]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- buffer
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any access pattern the pool never exceeds capacity, and an
+    /// immediately repeated access always hits (capacity >= 1).
+    #[test]
+    fn buffer_pool_capacity_and_rehit(
+        accesses in prop::collection::vec(0u32..64, 1..400),
+        cap in 1usize..32,
+        use_clock in any::<bool>(),
+    ) {
+        let policy = if use_clock { EvictionPolicy::Clock } else { EvictionPolicy::Lru };
+        let mut pool = robustmap_storage::BufferPool::new(cap, policy);
+        for &p in &accesses {
+            let pid = robustmap_storage::PageId::new(FileId(0), p);
+            pool.access(pid);
+            prop_assert!(pool.resident() <= cap);
+            prop_assert!(pool.access(pid), "immediate re-access must hit");
+        }
+        let (hits, misses, _) = pool.counters();
+        prop_assert_eq!(hits + misses, accesses.len() as u64 * 2);
+    }
+}

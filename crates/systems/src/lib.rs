@@ -1,0 +1,38 @@
+//! # robustmap-systems
+//!
+//! The three database systems of Graefe, Kuno & Wiener (CIDR 2009),
+//! reconstructed as plan repertoires over one executor.
+//!
+//! The paper measures "three real systems" it anonymises as the first
+//! system (Figures 1-7), System B (Figure 8) and System C (Figure 9).  The
+//! observations are entirely about which *execution techniques* each system
+//! offers, so the faithful substitution is three catalogs of physical plans
+//! over our common substrate:
+//!
+//! * **System A** — single-column non-clustered indexes only.  Seven plans
+//!   for the two-predicate selection: a table scan, two single-index
+//!   improved-fetch plans, and four two-index intersections ({merge, hash}
+//!   × {join orders}).  This is the "best of seven plans" baseline of
+//!   Figure 7, and the system behind Figures 1, 2, 4 and 5.
+//! * **System B** — has two-column indexes, but multi-version concurrency
+//!   control is applied "only to rows in the main table", so *every* plan
+//!   must fetch full rows; covering index plans are impossible.  Its
+//!   signature technique is the bitmap-sorted fetch of Figure 8.
+//! * **System C** — two-column indexes fully exploited with MDAM
+//!   ("multi-dimensional B-tree access", \[LJBY95\]): covering, skip-scanning
+//!   plans that stay "reasonable across the entire parameter space"
+//!   (Figure 9).
+//!
+//! Plan factories are parameterised by the predicate constants, so the map
+//! builder in `robustmap-core` can sweep selectivities without this crate
+//! knowing anything about grids.
+
+pub mod optimizer;
+pub mod single_pred;
+pub mod system;
+pub mod two_pred;
+
+pub use optimizer::{choose_plan, estimate_cost, CatalogStats, SelEstimates};
+pub use single_pred::{single_predicate_plans, SinglePredPlan, SinglePredPlanSet};
+pub use system::{SystemId, SystemInfo};
+pub use two_pred::{two_predicate_plans, TwoPredPlan};

@@ -1,0 +1,95 @@
+//! System identities and capability descriptions.
+
+/// Which of the paper's three systems a plan belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemId {
+    /// The paper's first system (Figures 1-7): single-column non-clustered
+    /// indexes, improved index scan, merge/hash index intersection.
+    A,
+    /// System B (Figure 8): two-column indexes that cannot cover (MVCC on
+    /// main-table rows only), bitmap-sorted fetch.
+    B,
+    /// System C (Figure 9): covering two-column indexes with MDAM.
+    C,
+}
+
+impl SystemId {
+    /// All three systems.
+    pub fn all() -> [SystemId; 3] {
+        [SystemId::A, SystemId::B, SystemId::C]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemId::A => "System A",
+            SystemId::B => "System B",
+            SystemId::C => "System C",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Capability summary of a system, for reports and documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemInfo {
+    /// The system.
+    pub id: SystemId,
+    /// Which index shapes it can use.
+    pub index_shapes: &'static str,
+    /// Whether index-only (covering) plans are possible.
+    pub covering_plans: bool,
+    /// Its signature fetch/scan technique.
+    pub signature_technique: &'static str,
+}
+
+impl SystemInfo {
+    /// Capability description for `id`.
+    pub fn of(id: SystemId) -> SystemInfo {
+        match id {
+            SystemId::A => SystemInfo {
+                id,
+                index_shapes: "single-column non-clustered",
+                covering_plans: false,
+                signature_technique: "improved index scan (rid sort + read-ahead switch)",
+            },
+            SystemId::B => SystemInfo {
+                id,
+                index_shapes: "single- and two-column non-clustered (non-covering)",
+                covering_plans: false,
+                signature_technique: "bitmap-sorted fetch (MVCC forces full-row fetches)",
+            },
+            SystemId::C => SystemInfo {
+                id,
+                index_shapes: "single- and two-column, covering",
+                covering_plans: true,
+                signature_technique: "MDAM multi-dimensional B-tree access",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_distinct_systems() {
+        let all = SystemId::all();
+        assert_eq!(all.len(), 3);
+        let names: std::collections::HashSet<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn only_c_covers() {
+        assert!(!SystemInfo::of(SystemId::A).covering_plans);
+        assert!(!SystemInfo::of(SystemId::B).covering_plans);
+        assert!(SystemInfo::of(SystemId::C).covering_plans);
+    }
+}

@@ -1,0 +1,276 @@
+//! Column value distributions.
+//!
+//! The paper names "skew (non-uniform value distributions and duplicate key
+//! values)" among the strongest influences on run-time robustness (§3).
+//! These generators produce the value sequences the experiments sweep over;
+//! all are deterministic functions of a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic value generator for one column: `value(i)` is the value
+/// of the column in row `i`.
+pub trait Distribution {
+    /// Value for row `i` (rows are generated `0..n`).
+    fn value(&mut self, i: u64) -> i64;
+}
+
+/// A pseudo-random permutation of `0..n`: every value appears exactly once,
+/// so range predicates have exact, analytically known selectivities.
+///
+/// Implemented as a 4-round Feistel network over `ceil(log2 n)` bits with
+/// cycle-walking for non-power-of-two domains — invertible, stateless and
+/// seeded.
+#[derive(Debug, Clone)]
+pub struct Permutation {
+    n: u64,
+    bits: u32,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// A permutation of `0..n` (n >= 1) determined by `seed`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 1, "empty domain");
+        let bits = 64 - (n - 1).leading_zeros().min(63);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        Permutation { n, bits: bits.max(2), keys }
+    }
+
+    fn feistel_round(&self, x: u64, key: u64) -> u64 {
+        let half = self.bits / 2;
+        let lo_bits = half;
+        let hi_bits = self.bits - half;
+        let lo_mask = (1u64 << lo_bits) - 1;
+        let hi_mask = (1u64 << hi_bits) - 1;
+        let lo = x & lo_mask;
+        let hi = (x >> lo_bits) & hi_mask;
+        // F-function: a cheap mix of the low half with the round key.
+        let f = lo
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key)
+            .rotate_left(31)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let new_hi = (hi ^ f) & hi_mask;
+        // Swap halves.
+        (lo << hi_bits) | new_hi
+    }
+
+    fn encrypt(&self, mut x: u64) -> u64 {
+        for &k in &self.keys {
+            x = self.feistel_round(x, k);
+        }
+        x
+    }
+
+    /// The permuted value of `i` (`i < n`).
+    pub fn apply(&self, i: u64) -> u64 {
+        assert!(i < self.n, "index outside domain");
+        // Cycle-walk until the image lands inside the domain.
+        let mut x = i;
+        loop {
+            x = self.encrypt(x);
+            if x < self.n {
+                return x;
+            }
+        }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Distribution for Permutation {
+    fn value(&mut self, i: u64) -> i64 {
+        self.apply(i % self.n) as i64
+    }
+}
+
+/// Independent uniform values over `0..domain` (duplicates allowed).
+#[derive(Debug)]
+pub struct Uniform {
+    domain: u64,
+    rng: StdRng,
+}
+
+impl Uniform {
+    /// Uniform values in `0..domain`.
+    pub fn new(domain: u64, seed: u64) -> Self {
+        assert!(domain >= 1);
+        Uniform { domain, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Distribution for Uniform {
+    fn value(&mut self, _i: u64) -> i64 {
+        self.rng.gen_range(0..self.domain) as i64
+    }
+}
+
+/// Zipf-distributed values over `0..domain` with parameter `theta`
+/// (`theta = 0` is uniform; larger is more skewed).  Value `k` has
+/// probability proportional to `1 / (k + 1)^theta`.
+///
+/// Sampling uses a precomputed CDF and binary search — exact, deterministic
+/// and fast for the moderate domains the skew experiments use.
+#[derive(Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// A Zipf sampler over `0..domain` with skew `theta >= 0`.
+    pub fn new(domain: u64, theta: f64, seed: u64) -> Self {
+        assert!((1..=1 << 24).contains(&domain), "domain out of supported range");
+        assert!(theta >= 0.0);
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0;
+        for k in 0..domain {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Distribution for Zipf {
+    fn value(&mut self, _i: u64) -> i64 {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u) as i64
+    }
+}
+
+/// A column correlated with another permutation column: with probability
+/// `rho` the value equals the base permutation's value for the same row,
+/// otherwise it is fresh-uniform.  Models the correlated predicate columns
+/// that break independence assumptions.
+#[derive(Debug)]
+pub struct Correlated {
+    base: Permutation,
+    rho: f64,
+    rng: StdRng,
+}
+
+impl Correlated {
+    /// Correlate with `base` at strength `rho` in `[0, 1]`.
+    pub fn new(base: Permutation, rho: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rho));
+        Correlated { base, rho, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Distribution for Correlated {
+    fn value(&mut self, i: u64) -> i64 {
+        if self.rng.gen::<f64>() < self.rho {
+            self.base.apply(i % self.base.domain()) as i64
+        } else {
+            self.rng.gen_range(0..self.base.domain()) as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for n in [1u64, 2, 7, 64, 1000, 4096] {
+            let p = Permutation::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let v = p.apply(i);
+                assert!(v < n);
+                assert!(!seen[v as usize], "duplicate at n={n}, i={i}");
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_seed_dependent_and_deterministic() {
+        let p1 = Permutation::new(1024, 1);
+        let p2 = Permutation::new(1024, 1);
+        let p3 = Permutation::new(1024, 2);
+        let v1: Vec<u64> = (0..1024).map(|i| p1.apply(i)).collect();
+        let v2: Vec<u64> = (0..1024).map(|i| p2.apply(i)).collect();
+        let v3: Vec<u64> = (0..1024).map(|i| p3.apply(i)).collect();
+        assert_eq!(v1, v2);
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn permutation_scatters_neighbours() {
+        // A permutation that keeps neighbours adjacent would defeat the
+        // purpose (index fetches must scatter); check average displacement.
+        let n = 1u64 << 14;
+        let p = Permutation::new(n, 7);
+        let mut total_gap = 0u64;
+        for i in 0..1000 {
+            let d = p.apply(i).abs_diff(p.apply(i + 1));
+            total_gap += d;
+        }
+        assert!(total_gap / 1000 > n / 16, "mean gap {}", total_gap / 1000);
+    }
+
+    #[test]
+    fn uniform_stays_in_domain() {
+        let mut u = Uniform::new(100, 3);
+        for i in 0..10_000 {
+            let v = u.value(i);
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut z = Zipf::new(16, 0.0, 5);
+        let mut counts = [0u64; 16];
+        for i in 0..32_000 {
+            counts[z.value(i) as usize] += 1;
+        }
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*hi < lo * 2, "counts {counts:?}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass() {
+        let mut z = Zipf::new(1024, 1.2, 5);
+        let mut head = 0u64;
+        let n = 50_000;
+        for i in 0..n {
+            if z.value(i) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=1.2 the first ten values carry well over a third of
+        // the mass.
+        assert!(head * 3 > n, "head {head} of {n}");
+    }
+
+    #[test]
+    fn correlated_rho_one_equals_base() {
+        let base = Permutation::new(512, 9);
+        let mut c = Correlated::new(base.clone(), 1.0, 10);
+        for i in 0..512 {
+            assert_eq!(c.value(i), base.apply(i) as i64);
+        }
+    }
+
+    #[test]
+    fn correlated_rho_half_mixes() {
+        let base = Permutation::new(512, 9);
+        let mut c = Correlated::new(base.clone(), 0.5, 10);
+        let matches = (0..512).filter(|&i| c.value(i) == base.apply(i) as i64).count();
+        // ~50% direct matches plus ~0.2% accidental collisions.
+        assert!((150..=360).contains(&matches), "matches {matches}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for workload generation: the calibration
+//! guarantees that every figure sweep relies on.
+
+use proptest::prelude::*;
+use robustmap_workload::{Calibrator, Distribution, Permutation, Zipf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Permutations are bijections for any domain size and seed.
+    #[test]
+    fn permutation_bijective(n in 1u64..5000, seed in any::<u64>()) {
+        let p = Permutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for i in 0..n {
+            let v = p.apply(i);
+            prop_assert!(v < n);
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    /// Calibrator round trip: for any value multiset and any target
+    /// selectivity, the chosen threshold's true count is within one
+    /// boundary-value group of the target, and never undershoots.
+    #[test]
+    fn calibrator_roundtrip(
+        values in prop::collection::vec(-1000i64..1000, 1..2000),
+        sel in 0.0f64..=1.0,
+    ) {
+        let n = values.len() as f64;
+        let cal = Calibrator::new(values.clone());
+        let (t, count) = cal.threshold_with_count(sel);
+        // The reported count is the truth.
+        let truth = values.iter().filter(|&&v| v <= t).count() as u64;
+        prop_assert_eq!(count, truth);
+        // Never undershoots the target by more than rounding.
+        let target = (sel * n).round() as u64;
+        prop_assert!(count >= target.min(values.len() as u64),
+            "count {count} under target {target}");
+        // Monotone: larger selectivity never yields a smaller threshold.
+        let (t2, count2) = cal.threshold_with_count((sel + 0.1).min(1.0));
+        prop_assert!(t2 >= t);
+        prop_assert!(count2 >= count);
+    }
+
+    /// count_at_most is monotone and bounded.
+    #[test]
+    fn count_at_most_monotone(
+        values in prop::collection::vec(-100i64..100, 0..500),
+        probes in prop::collection::vec(-120i64..120, 1..20),
+    ) {
+        let cal = Calibrator::new(values.clone());
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let counts: Vec<u64> = sorted.iter().map(|&p| cal.count_at_most(p)).collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(counts.iter().all(|&c| c <= values.len() as u64));
+    }
+
+    /// Zipf samples stay in the domain and are deterministic per seed.
+    #[test]
+    fn zipf_domain_and_determinism(
+        domain in 1u64..512,
+        theta_tenths in 0u32..25,
+        seed in any::<u64>(),
+    ) {
+        let theta = theta_tenths as f64 / 10.0;
+        let mut z1 = Zipf::new(domain, theta, seed);
+        let mut z2 = Zipf::new(domain, theta, seed);
+        for i in 0..200 {
+            let v1 = z1.value(i);
+            prop_assert!((0..domain as i64).contains(&v1));
+            prop_assert_eq!(v1, z2.value(i));
+        }
+    }
+}

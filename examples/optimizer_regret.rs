@@ -1,0 +1,72 @@
+//! Optimizer regret: what bad cardinality estimates cost, and what robust
+//! plans buy.
+//!
+//! A textbook cost-based optimizer picks the estimated-cheapest of the
+//! fifteen plans at each point of the selectivity space.  We then charge it
+//! the *measured* cost of its choice relative to the true best plan — its
+//! regret — under increasingly wrong selectivity estimates.
+//!
+//! ```text
+//! cargo run --release --example optimizer_regret
+//! ```
+
+use robustmap::core::{build_map2d, Grid2D, MeasureConfig, RelativeMap2D};
+use robustmap::systems::{
+    choose_plan, two_predicate_plans, CatalogStats, SelEstimates, SystemId, TwoPredPlan,
+};
+use robustmap::workload::{TableBuilder, WorkloadConfig};
+
+fn main() {
+    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let plans: Vec<TwoPredPlan> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
+    let grid = Grid2D::pow2(12);
+    println!("measuring {} plans over {} cells...", plans.len(), grid.cells());
+    let cfg = MeasureConfig::default();
+    let map = build_map2d(&w, &plans, &grid, &cfg);
+    let rel = RelativeMap2D::from_map(&map);
+    let stats = CatalogStats::of(&w);
+    let (na, nb) = rel.dims();
+
+    println!(
+        "\n{:>18} {:>12} {:>12} {:>20}",
+        "estimate error", "mean regret", "max regret", "most-chosen plan"
+    );
+    for (label, err) in
+        [("exact", 1.0), ("4x under", 0.25), ("64x under", 1.0 / 64.0), ("64x over", 64.0)]
+    {
+        let mut sum = 0.0;
+        let mut max: f64 = 1.0;
+        let mut histogram = vec![0usize; plans.len()];
+        for ia in 0..na {
+            for ib in 0..nb {
+                let (sa, sb) = (rel.sel_a[ia], rel.sel_b[ib]);
+                let est = SelEstimates::with_error(sa, sb, err, err);
+                let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
+                let chosen = choose_plan(&plans, ta, tb, &stats, &est, &cfg.model);
+                histogram[chosen] += 1;
+                let regret = rel.quotient(chosen, ia, ib);
+                sum += regret;
+                max = max.max(regret);
+            }
+        }
+        let favourite = histogram
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, n)| *n)
+            .map(|(i, _)| plans[i].name.as_str())
+            .unwrap_or("-");
+        println!(
+            "{:>18} {:>11.2}x {:>11.0}x {:>20}",
+            label,
+            sum / (na * nb) as f64,
+            max,
+            favourite
+        );
+    }
+    println!(
+        "\nthe paper's point, quantified: when estimates are hopeless, the chooser converges \
+         on the robust covering/bitmap plans — and does *better* than with moderate errors. \
+         \"Robustness might well trump performance.\" (§3.3)"
+    );
+}

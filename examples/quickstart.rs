@@ -1,0 +1,41 @@
+//! Quickstart: build a workload, sweep Figure 1's three plans, print the
+//! robustness map and its landmarks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use robustmap::core::render::{line_plot_svg, render_map1d_table};
+use robustmap::core::report::landmark_report;
+use robustmap::core::{build_map1d, Grid1D, MeasureConfig};
+use robustmap::systems::{single_predicate_plans, SinglePredPlanSet};
+use robustmap::workload::{TableBuilder, WorkloadConfig};
+
+fn main() {
+    // 2^18 rows keeps this example under a couple of seconds while showing
+    // the same curve shapes as the paper's 60M-row table.
+    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    println!("workload: {} rows over {} heap pages\n", w.rows(), w.heap_pages());
+
+    // The paper's Figure 1: table scan vs. traditional vs. improved index
+    // scan, selectivities swept in factor-of-two steps.
+    let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
+    let grid = Grid1D::pow2(14);
+    let map = build_map1d(&w, &plans, &grid, &MeasureConfig::default());
+
+    println!("{}", render_map1d_table(&map, "Figure 1 on your machine (simulated seconds)"));
+    println!("{}", landmark_report(&map));
+
+    // Robustness in one sentence: the improved index scan is never far
+    // from the best plan; the traditional one is catastrophic at the end.
+    let rel = map.relative();
+    for (plan, quotients) in rel {
+        let worst = quotients.iter().copied().fold(1.0, f64::max);
+        println!("worst-case factor vs best plan — {plan}: {worst:.1}x");
+    }
+
+    let svg = line_plot_svg(&map, "Figure 1 (quickstart)", "seconds (log)");
+    std::fs::create_dir_all("target/figures").expect("create output dir");
+    std::fs::write("target/figures/quickstart.svg", svg).expect("write svg");
+    println!("\nwrote target/figures/quickstart.svg");
+}

@@ -1,0 +1,66 @@
+//! Robustness atlas: 2-D maps for every plan of every system, rendered as
+//! ANSI heat maps in the terminal — the paper's Figures 4-9 as a gallery,
+//! plus the Figure 10 optimal-plans summary.
+//!
+//! ```text
+//! cargo run --release --example robustness_atlas            # color output
+//! cargo run --release --example robustness_atlas -- --plain # ASCII only
+//! ```
+
+use robustmap::core::render::{
+    absolute_scale, relative_scale, render_map2d_ansi, AsciiOptions,
+};
+use robustmap::core::report::{multi_optimal_report, relative_report};
+use robustmap::core::{build_map2d, Grid2D, MeasureConfig, OptimalityTolerance, RelativeMap2D};
+use robustmap::systems::{two_predicate_plans, SystemId, TwoPredPlan};
+use robustmap::workload::{TableBuilder, WorkloadConfig};
+
+fn main() {
+    let plain = std::env::args().any(|a| a == "--plain");
+    let opts = AsciiOptions { ansi: !plain, cell_width: 2 };
+
+    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let plans: Vec<TwoPredPlan> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
+    println!(
+        "sweeping {} plans over a {}x{} selectivity grid ({} rows)...\n",
+        plans.len(),
+        13,
+        13,
+        w.rows()
+    );
+    let grid = Grid2D::pow2(12);
+    let map = build_map2d(&w, &plans, &grid, &MeasureConfig::default());
+    let rel = RelativeMap2D::from_map(&map);
+
+    // Absolute map of each plan (Figure 4/5 style).
+    for p in 0..map.plan_count() {
+        let (lo, hi) = map.seconds_range(p);
+        println!(
+            "{}",
+            render_map2d_ansi(
+                &map.seconds_grid(p),
+                &map.sel_a,
+                &map.sel_b,
+                &absolute_scale(),
+                &format!("{} — absolute ({lo:.3}s .. {hi:.2}s)", map.plans[p]),
+                &opts,
+            )
+        );
+        // Relative map (Figure 7/8/9 style).
+        println!(
+            "{}",
+            render_map2d_ansi(
+                rel.quotient_grid(p),
+                &rel.sel_a,
+                &rel.sel_b,
+                &relative_scale(),
+                &format!("{} — factor vs best of all {} plans", map.plans[p], map.plan_count()),
+                &opts,
+            )
+        );
+    }
+
+    println!("{}", relative_report(&rel));
+    println!("{}", multi_optimal_report(&rel, OptimalityTolerance::Factor(1.2)));
+}

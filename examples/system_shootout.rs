@@ -1,0 +1,54 @@
+//! Cross-system shootout (paper §3.3, opportunity 2): compare the best
+//! available plan of Systems A, B and C at every point of the parameter
+//! space, and rank every plan with the §4 robustness benchmark.
+//!
+//! ```text
+//! cargo run --release --example system_shootout
+//! ```
+
+use robustmap::core::analysis::score::score_map2d;
+use robustmap::core::report::score_report;
+use robustmap::core::{build_map2d, Grid2D, MeasureConfig, RelativeMap2D};
+use robustmap::systems::{two_predicate_plans, SystemId, TwoPredPlan};
+use robustmap::workload::{TableBuilder, WorkloadConfig};
+
+fn main() {
+    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let plans: Vec<TwoPredPlan> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
+    let grid = Grid2D::pow2(12);
+    println!("sweeping {} plans over {} cells...\n", plans.len(), grid.cells());
+    let map = build_map2d(&w, &plans, &grid, &MeasureConfig::default());
+    let rel = RelativeMap2D::from_map(&map);
+
+    // Which system owns the best plan where?
+    let (na, nb) = rel.dims();
+    let mut wins = [0usize; 3];
+    for ia in 0..na {
+        for ib in 0..nb {
+            let best = &map.plans[rel.best_plan_at(ia, ib)];
+            match best.as_bytes()[0] {
+                b'A' => wins[0] += 1,
+                b'B' => wins[1] += 1,
+                _ => wins[2] += 1,
+            }
+        }
+    }
+    let total = (na * nb) as f64;
+    println!("share of the parameter space where each system fields the fastest plan:");
+    for (name, w) in ["System A", "System B", "System C"].iter().zip(wins) {
+        println!("  {name}: {:.1}%", w as f64 / total * 100.0);
+    }
+
+    // The robustness leaderboard (paper §4's benchmark).
+    println!("\nrobustness benchmark over all {} plans:", map.plan_count());
+    let scores: Vec<_> =
+        (0..map.plan_count()).map(|p| score_map2d(&rel, p, &map.seconds_grid(p))).collect();
+    println!("{}", score_report(&scores));
+
+    println!(
+        "reading: high 'headline' means gracefully degrading everywhere; plans that win big \
+         somewhere but lose catastrophically elsewhere rank low — \"robustness might well \
+         trump performance\" (§3.3)."
+    );
+}

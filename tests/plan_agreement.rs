@@ -1,0 +1,117 @@
+//! Integration: every plan the three systems offer must compute the same
+//! query result — the robustness maps compare *costs* of equivalent plans,
+//! so equivalence is the bedrock invariant.
+
+use robustmap::executor::{execute_collect, execute_count, ExecCtx};
+use robustmap::storage::Session;
+use robustmap::systems::{
+    single_predicate_plans, two_predicate_plans, SinglePredPlanSet, SystemId,
+};
+use robustmap::workload::{TableBuilder, Workload, WorkloadConfig};
+
+fn workload() -> Workload {
+    TableBuilder::build(WorkloadConfig::with_rows(1 << 13))
+}
+
+#[test]
+fn fifteen_two_predicate_plans_agree_across_the_grid() {
+    let w = workload();
+    let n = w.rows();
+    // A 5x5 sub-grid including both extremes.
+    let sels = [1.0 / 4096.0, 1.0 / 256.0, 1.0 / 16.0, 0.25, 1.0];
+    for &sa in &sels {
+        for &sb in &sels {
+            let (ta, ca) = w.cal_a.threshold_with_count(sa);
+            let (tb, cb) = w.cal_b.threshold_with_count(sb);
+            assert_eq!(ca, (n as f64 * sa).round() as u64);
+            assert_eq!(cb, (n as f64 * sb).round() as u64);
+            let mut expected = None;
+            for sys in SystemId::all() {
+                for plan in two_predicate_plans(sys, &w) {
+                    let s = Session::with_pool_pages(512);
+                    let ctx = ExecCtx::new(&w.db, &s, 1 << 22);
+                    let stats = execute_count(&plan.build(ta, tb), &ctx).unwrap();
+                    match expected {
+                        None => expected = Some(stats.rows_out),
+                        Some(e) => {
+                            assert_eq!(stats.rows_out, e, "{} at ({sa},{sb})", plan.name)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_predicate_plans_return_identical_row_sets() {
+    let w = workload();
+    for sel in [1.0 / 1024.0, 1.0 / 8.0, 1.0] {
+        let ta = w.cal_a.threshold(sel);
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for plan in single_predicate_plans(SinglePredPlanSet::WithIndexJoins, &w) {
+            let s = Session::with_pool_pages(512);
+            let ctx = ExecCtx::new(&w.db, &s, 1 << 22);
+            let (_, rows) = execute_collect(&plan.build(ta), &ctx).unwrap();
+            let mut rows: Vec<Vec<i64>> = rows.iter().map(|r| r.values().to_vec()).collect();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert_eq!(&rows, want, "{} at sel {sel}", plan.name),
+            }
+        }
+        // And the reference matches a direct heap filter.
+        let s = Session::with_pool_pages(0);
+        let mut truth: Vec<Vec<i64>> = Vec::new();
+        w.db.table(w.table).heap.scan(&s, |_, row| {
+            if row.get(robustmap::workload::COL_A) <= ta {
+                truth.push(vec![
+                    row.get(robustmap::workload::COL_A),
+                    row.get(robustmap::workload::COL_C),
+                ]);
+            }
+        });
+        truth.sort();
+        assert_eq!(reference.unwrap(), truth);
+    }
+}
+
+#[test]
+fn results_are_insensitive_to_buffer_pool_and_memory() {
+    // Run-time conditions change costs, never results.
+    let w = workload();
+    let (ta, tb) = (w.cal_a.threshold(0.25), w.cal_b.threshold(0.5));
+    for sys in SystemId::all() {
+        for plan in two_predicate_plans(sys, &w) {
+            let mut counts = Vec::new();
+            for (pool, memory) in [(0usize, 4096usize), (64, 1 << 14), (4096, 1 << 24)] {
+                let s = Session::with_pool_pages(pool);
+                let ctx = ExecCtx::new(&w.db, &s, memory);
+                counts.push(execute_count(&plan.build(ta, tb), &ctx).unwrap().rows_out);
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "{}: counts varied with run-time conditions: {counts:?}",
+                plan.name
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_full_selectivity_edges() {
+    let w = workload();
+    for sys in SystemId::all() {
+        for plan in two_predicate_plans(sys, &w) {
+            let s = Session::with_pool_pages(256);
+            let ctx = ExecCtx::new(&w.db, &s, 1 << 22);
+            // Empty: a-threshold below every value.
+            let stats = execute_count(&plan.build(i64::MIN, i64::MAX), &ctx).unwrap();
+            assert_eq!(stats.rows_out, 0, "{} not empty", plan.name);
+            // Full: both thresholds above every value.
+            let ctx2 = ExecCtx::new(&w.db, &s, 1 << 22);
+            let stats = execute_count(&plan.build(i64::MAX, i64::MAX), &ctx2).unwrap();
+            assert_eq!(stats.rows_out, w.rows(), "{} not full", plan.name);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration: structural invariants of 2-D robustness maps built from
+//! real measurements, plus the qualitative claims of Figures 4-10 that are
+//! scale-free.
+
+use robustmap::core::analysis::symmetry::symmetry_of;
+use robustmap::core::regions::RegionStats;
+use robustmap::core::{
+    build_map2d, Grid2D, Map2D, MeasureConfig, OptimalityTolerance, RelativeMap2D,
+};
+use robustmap::systems::{two_predicate_plans, SystemId, TwoPredPlan};
+use robustmap::workload::{TableBuilder, Workload, WorkloadConfig};
+
+fn build_all(rows: u64, grid_exp: u32, cfg: MeasureConfig) -> (Workload, Map2D) {
+    let w = TableBuilder::build(WorkloadConfig::with_rows(rows));
+    let plans: Vec<TwoPredPlan> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
+    let map = build_map2d(&w, &plans, &Grid2D::pow2(grid_exp), &cfg);
+    (w, map)
+}
+
+/// Conditions under which the paper's effects are visible at test scale:
+/// the buffer pool must stay well below the heap size (as 2009 pools did
+/// against 60M-row tables).
+fn small_pool() -> MeasureConfig {
+    MeasureConfig { pool_pages: 64, ..Default::default() }
+}
+
+#[test]
+fn relative_map_invariants() {
+    let (_, map) = build_all(1 << 13, 8, MeasureConfig::default());
+    let rel = RelativeMap2D::from_map(&map);
+    let (na, nb) = rel.dims();
+    for p in 0..map.plan_count() {
+        for &q in rel.quotient_grid(p) {
+            assert!(q >= 1.0 - 1e-12, "quotient below 1: {q}");
+            assert!(q.is_finite());
+        }
+    }
+    // The best plan at each point has quotient exactly 1.
+    for ia in 0..na {
+        for ib in 0..nb {
+            let best = rel.best_plan_at(ia, ib);
+            assert!((rel.quotient(best, ia, ib) - 1.0).abs() < 1e-12);
+        }
+    }
+    // Union of strict optimality regions covers the grid.
+    let mut covered = vec![false; na * nb];
+    for p in 0..map.plan_count() {
+        let region = rel.optimal_region(p, OptimalityTolerance::Factor(1.0 + 1e-9));
+        for ia in 0..na {
+            for ib in 0..nb {
+                if region.get(ia, ib) {
+                    covered[ia * nb + ib] = true;
+                }
+            }
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "every point needs an optimal plan");
+}
+
+#[test]
+fn figure4_shape_one_dimension_dominates() {
+    // This contrast needs the fetch-I/O regimes to separate: a table large
+    // enough that reading it dwarfs a handful of random fetches, and a
+    // grid floor low enough that the smallest cells *are* a handful of
+    // fetches (the paper had 60M rows and swept to 2^-16).
+    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 17));
+    let plans = two_predicate_plans(SystemId::A, &w);
+    let map = build_map2d(&w, &plans, &Grid2D::pow2(14), &small_pool());
+    let plan = map.plan_index("A2 idx(a) fetch").unwrap();
+    let grid = map.seconds_grid(plan);
+    let (na, nb) = map.dims();
+    // Spread along sel_a (the indexed predicate) is large; along sel_b (the
+    // residual, applied after fetching) it is negligible.
+    let mut spread_a = 1.0f64;
+    for ib in 0..nb {
+        let col: Vec<f64> = (0..na).map(|ia| grid[ia * nb + ib]).collect();
+        let (mn, mx) = col.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        spread_a = spread_a.max(mx / mn);
+    }
+    let mut spread_b = 1.0f64;
+    for ia in 0..na {
+        let row: Vec<f64> = (0..nb).map(|ib| grid[ia * nb + ib]).collect();
+        let (mn, mx) = row.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        spread_b = spread_b.max(mx / mn);
+    }
+    assert!(
+        spread_a > 10.0 * spread_b,
+        "sel_a spread {spread_a:.1}x should dwarf sel_b spread {spread_b:.2}x"
+    );
+}
+
+#[test]
+fn figure5_merge_join_is_symmetric_hash_is_less_so() {
+    // The in-memory cost model isolates the algorithmic (CPU) symmetry
+    // mechanism from small-cell I/O granularity "measurement flukes in the
+    // sub-second range" that the paper itself notes in Figure 5.
+    let cfg = MeasureConfig {
+        model: robustmap::storage::CostModel::in_memory(),
+        ..Default::default()
+    };
+    let (_, map) = build_all(1 << 14, 8, cfg);
+    let n = map.sel_a.len();
+    let merge = symmetry_of(&map.seconds_grid(map.plan_index("A4 merge(a,b) intersect").unwrap()), n);
+    let hash = symmetry_of(&map.seconds_grid(map.plan_index("A6 hash(a,b) intersect").unwrap()), n);
+    // Merge intersect sorts both inputs: symmetric on average.  Hash
+    // intersect builds on one fixed side (build costs more than probe):
+    // asymmetric, as the paper (and GLS94) predicts.
+    assert!(
+        merge.mean_log_ratio.exp() < 1.05,
+        "merge mean asymmetry {:.3}",
+        merge.mean_log_ratio.exp()
+    );
+    assert!(
+        hash.mean_log_ratio > 2.0 * merge.mean_log_ratio,
+        "hash (mean {:.4}) should be clearly less symmetric than merge (mean {:.4})",
+        hash.mean_log_ratio.exp(),
+        merge.mean_log_ratio.exp()
+    );
+}
+
+#[test]
+fn figure8_bitmap_plan_beats_figure7_plan_on_worst_case() {
+    let (_, map) = build_all(1 << 15, 8, small_pool());
+    let rel_a = RelativeMap2D::from_map(&map.subset_by_prefix("A"));
+    let rel_b = RelativeMap2D::from_map(&map.subset_by_prefix("B"));
+    let a2 = rel_a.plans.iter().position(|p| p.starts_with("A2")).unwrap();
+    let b1 = rel_b.plans.iter().position(|p| p.starts_with("B1")).unwrap();
+    // Paper on Figure 8: "its worst quotient is not as bad as the one of
+    // the prior plan shown in Figure 7" and it is near-optimal "over a much
+    // larger region".
+    assert!(
+        rel_b.worst_quotient(b1) < rel_a.worst_quotient(a2),
+        "B1 worst {:.1} should beat A2 worst {:.1}",
+        rel_b.worst_quotient(b1),
+        rel_a.worst_quotient(a2)
+    );
+    let region_b = RegionStats::of(&rel_b.optimal_region(b1, OptimalityTolerance::Factor(1.2)));
+    let region_a = RegionStats::of(&rel_a.optimal_region(a2, OptimalityTolerance::Factor(1.2)));
+    assert!(
+        region_b.coverage > region_a.coverage,
+        "B1 covers {:.2}, A2 covers {:.2}",
+        region_b.coverage,
+        region_a.coverage
+    );
+}
+
+#[test]
+fn figure9_mdam_plan_is_reasonable_everywhere() {
+    let (_, map) = build_all(1 << 14, 8, small_pool());
+    let rel_c = RelativeMap2D::from_map(&map.subset_by_prefix("C"));
+    let c1 = rel_c.plans.iter().position(|p| p.starts_with("C1")).unwrap();
+    // "The relative performance is reasonable across the entire parameter
+    // space, albeit not optimal."
+    assert!(
+        rel_c.area_within(c1, 10.0) > 0.95,
+        "C1 within 10x on only {:.0}% of the space",
+        rel_c.area_within(c1, 10.0) * 100.0
+    );
+    // And it is near-best (within 20%) at a meaningful share of points.
+    let optimal = rel_c.optimal_region(c1, OptimalityTolerance::Factor(1.2));
+    assert!(optimal.fraction() > 0.15, "C1 near-optimal at {:.0}%", optimal.fraction() * 100.0);
+}
+
+#[test]
+fn figure10_most_points_have_multiple_optimal_plans() {
+    let (_, map) = build_all(1 << 13, 8, MeasureConfig::default());
+    let rel = RelativeMap2D::from_map(&map);
+    let counts = rel.optimal_plan_counts(OptimalityTolerance::Factor(1.2));
+    let multi = counts.iter().filter(|&&c| c >= 2).count();
+    // Paper: "Most points in the parameter space have multiple optimal
+    // plans (within ... measurement error)."
+    assert!(
+        multi * 2 > counts.len(),
+        "only {multi} of {} points have several near-optimal plans",
+        counts.len()
+    );
+}
+
+#[test]
+fn maps_are_deterministic_across_builds_and_thread_counts() {
+    let build = |threads| {
+        let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 12));
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let cfg = MeasureConfig { threads, ..Default::default() };
+        build_map2d(&w, &plans, &Grid2D::pow2(6), &cfg)
+    };
+    let m1 = build(1);
+    let m2 = build(4);
+    let m3 = build(0);
+    assert_eq!(m1, m2);
+    assert_eq!(m2, m3);
+}
