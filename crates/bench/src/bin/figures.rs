@@ -53,6 +53,12 @@ fn main() {
         wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
     }
     wanted.dedup();
+    // Reject typos before spending seconds building the workload.
+    for name in &wanted {
+        if !ALL_FIGURES.contains(&name.as_str()) {
+            die(&format!("unknown figure: {name} (see --help)"));
+        }
+    }
 
     eprintln!(
         "building workload: {} rows, grid 2^-{}..1, artifacts in {}",
@@ -75,7 +81,7 @@ fn main() {
                 }
                 eprintln!("[{name}] done in {:.1?}", t.elapsed());
             }
-            None => eprintln!("unknown figure: {name} (see --help)"),
+            None => unreachable!("names were validated against ALL_FIGURES"),
         }
     }
 }

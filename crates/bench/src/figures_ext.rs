@@ -80,8 +80,8 @@ pub fn ext_sort_spill(h: &Harness) -> FigureOutput {
     let mut report = String::from(
         "Extension A: sort spill discontinuity — sort-only cost at fixed memory\n",
     );
-    // The threshold in rows for this memory grant (see ops::sort ROW_BYTES).
-    let threshold_rows = (memory / 80) as f64;
+    // The threshold in rows for this memory grant.
+    let threshold_rows = robustmap_executor::ops::sort::sort_capacity_rows(memory) as f64;
     report.push_str(&format!(
         "memory grant {memory} B ≈ {threshold_rows:.0} rows; fine sweep around the cliff:\n"
     ));

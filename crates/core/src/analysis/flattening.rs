@@ -69,6 +69,35 @@ pub fn flattening_violations(
     out
 }
 
+/// [`flattening_violations`] on log2-log2 axes — the way the paper's
+/// figures are drawn and read ("result sizes differ by a factor of 2
+/// between data points", costs on a log scale).
+///
+/// The distinction matters: Figure 1's improved index scan is *concave* in
+/// linear space (early rows cost a random read each, late rows ride
+/// sequential read-ahead), yet on the paper's log-log axes it shows "a flat
+/// cost growth followed by a steeper cost growth for very large result
+/// sizes" — the log-log slope falls to near zero where the B-tree traversal
+/// dominates and then climbs back toward one as per-row work takes over.
+/// This variant detects exactly that steepening.
+///
+/// # Panics
+/// Panics if the inputs differ in length or any value is not positive
+/// (log axes need positive coordinates).
+pub fn flattening_violations_log2(
+    work: &[f64],
+    cost: &[f64],
+    factor_tolerance: f64,
+) -> Vec<FlatteningViolation> {
+    assert!(
+        work.iter().chain(cost).all(|&v| v > 0.0),
+        "log-log flattening needs positive work and cost"
+    );
+    let lw: Vec<f64> = work.iter().map(|w| w.log2()).collect();
+    let lc: Vec<f64> = cost.iter().map(|c| c.log2()).collect();
+    flattening_violations(&lw, &lc, factor_tolerance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +133,24 @@ mod tests {
     #[test]
     fn short_series_has_no_violations() {
         assert!(flattening_violations(&[1.0, 2.0], &[1.0, 2.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn loglog_flags_constant_plus_linear_cost() {
+        // cost = 1 + n/64 on a geometric grid: concave in linear space
+        // (slopes are constant), but on log-log axes the growth steepens
+        // from ~0 toward 1 — the improved-index-scan shape.
+        let work: Vec<f64> = (0..10).map(|i| (1u64 << i) as f64).collect();
+        let cost: Vec<f64> = work.iter().map(|n| 1.0 + n / 64.0).collect();
+        assert!(flattening_violations(&work, &cost, 1.25).is_empty());
+        assert!(!flattening_violations_log2(&work, &cost, 1.25).is_empty());
+    }
+
+    #[test]
+    fn loglog_power_law_is_clean() {
+        // Any pure power law is a straight line on log-log axes.
+        let work: Vec<f64> = (0..10).map(|i| (1u64 << i) as f64).collect();
+        let cost: Vec<f64> = work.iter().map(|n| 3.0 * n.powf(0.7)).collect();
+        assert!(flattening_violations_log2(&work, &cost, 1.01).is_empty());
     }
 }

@@ -17,7 +17,7 @@ pub mod score;
 pub mod symmetry;
 
 pub use discontinuity::{detect_discontinuities, Discontinuity};
-pub use flattening::{flattening_violations, FlatteningViolation};
+pub use flattening::{flattening_violations, flattening_violations_log2, FlatteningViolation};
 pub use landmarks::{crossovers, Crossover};
 pub use monotonicity::{monotonicity_violations, MonotonicityViolation};
 pub use score::{score_map2d, score_series, RobustnessScore};

@@ -181,24 +181,25 @@ fn run_parallel(
         return results;
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Measurement)>();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Measurement)>();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((pi, cell, spec)) = specs.get(i) else { break };
                 let m = measure_plan(db, spec, cfg);
                 tx.send((pi * cells + cell, m)).expect("collector alive");
             });
         }
+        // Workers hold the remaining senders; dropping ours lets the
+        // collector loop end once every worker has finished.
         drop(tx);
         for (slot, m) in rx {
             results[slot] = m;
         }
-    })
-    .expect("measurement worker panicked");
+    });
     results
 }
 

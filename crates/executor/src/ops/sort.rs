@@ -82,6 +82,14 @@ pub struct ExternalSorter<'a, 'b> {
 /// Bytes a buffered row is accounted as (payload + bookkeeping).
 const ROW_BYTES: usize = 80;
 
+/// How many rows a sort holds in memory under a grant of `memory_bytes` —
+/// the input size at which spilling starts.  Exposed so experiments can
+/// place sweep points on either side of the spill threshold without
+/// duplicating the row-accounting constant.
+pub fn sort_capacity_rows(memory_bytes: usize) -> usize {
+    (memory_bytes / ROW_BYTES).max(2)
+}
+
 impl<'a, 'b> ExternalSorter<'a, 'b> {
     /// A sorter ordering rows by `key_cols` under the given spill mode and
     /// memory grant.
@@ -91,7 +99,7 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         mode: SpillMode,
         memory_bytes: usize,
     ) -> Self {
-        let memory_rows = (memory_bytes / ROW_BYTES).max(2);
+        let memory_rows = sort_capacity_rows(memory_bytes);
         ExternalSorter {
             ctx,
             key_cols,

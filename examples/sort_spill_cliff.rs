@@ -3,13 +3,24 @@
 //! graceful implementation (replacement selection) degrades in proportion
 //! to the overflow.
 //!
+//! Two things are needed to make the cliff visible, and both are done
+//! here (and in the fuller `ext_sort_spill` harness entry): the sort's
+//! own cost is isolated from its scan child via the per-operator
+//! breakdown (the scan's constant cost would otherwise mask the jump),
+//! and the input sweep is fine-grained around the memory threshold so
+//! "merely a single record" of overflow sits between adjacent points.
+//!
 //! ```text
 //! cargo run --release --example sort_spill_cliff
 //! ```
 
 use robustmap::core::analysis::discontinuity::detect_discontinuities;
-use robustmap::core::{measure_plan, MeasureConfig};
-use robustmap::executor::{ColRange, PlanSpec, Predicate, Projection, SpillMode};
+use robustmap::core::MeasureConfig;
+use robustmap::executor::ops::sort::sort_capacity_rows;
+use robustmap::executor::{
+    execute_count, ColRange, ExecCtx, PlanSpec, Predicate, Projection, SpillMode,
+};
+use robustmap::storage::{BufferPool, Session};
 use robustmap::workload::{TableBuilder, WorkloadConfig, COL_A, COL_C};
 
 fn main() {
@@ -17,19 +28,9 @@ fn main() {
     let memory = 1 << 18; // 256 KiB of sort memory (~3.2k rows)
     let cfg = MeasureConfig::default();
 
-    println!("sorting scan output under a {memory}-byte grant; sweep input size:\n");
-    println!(
-        "{:>9} {:>12} {:>12} {:>14} {:>14}",
-        "rows", "abrupt (s)", "graceful (s)", "abrupt writes", "graceful writes"
-    );
-
-    let mut axis = Vec::new();
-    let mut abrupt = Vec::new();
-    let mut graceful = Vec::new();
-    for exp in (0..=12u32).rev() {
-        let sel = 0.5f64.powi(exp as i32);
-        let threshold = w.cal_a.threshold(sel);
-        let plan = |mode: SpillMode| PlanSpec::Sort {
+    let plan = |rows_wanted: f64, mode: SpillMode| {
+        let threshold = w.cal_a.threshold(rows_wanted / w.rows() as f64);
+        PlanSpec::Sort {
             input: Box::new(PlanSpec::TableScan {
                 table: w.table,
                 pred: Predicate::single(ColRange::at_most(COL_A, threshold)),
@@ -38,16 +39,39 @@ fn main() {
             key_cols: vec![0],
             mode,
             memory_bytes: memory,
-        };
-        let ma = measure_plan(&w.db, &plan(SpillMode::Abrupt), &cfg);
-        let mg = measure_plan(&w.db, &plan(SpillMode::Graceful), &cfg);
-        println!(
-            "{:>9} {:>12.4} {:>12.4} {:>14} {:>14}",
-            ma.rows, ma.seconds, mg.seconds, ma.io.page_writes, mg.io.page_writes
-        );
-        axis.push(ma.rows.max(1) as f64);
-        abrupt.push(ma.seconds);
-        graceful.push(mg.seconds);
+        }
+    };
+    // Sort-exclusive seconds: the Sort node's inclusive time minus its
+    // child's, read off the execution's operator breakdown.
+    let sort_only = |plan: &PlanSpec| -> (f64, u64, u64) {
+        let session =
+            Session::new(cfg.model.clone(), BufferPool::new(cfg.pool_pages, cfg.policy));
+        let ctx = ExecCtx::new(&w.db, &session, cfg.memory_bytes);
+        let stats = execute_count(plan, &ctx).expect("well-formed plan");
+        let child = stats.operators.iter().find(|o| o.depth == 1).expect("child").seconds;
+        let root = stats.operators.iter().find(|o| o.depth == 0).expect("root").seconds;
+        (root - child, stats.io.page_writes, stats.rows_out)
+    };
+
+    // The sort's in-memory capacity in rows for this grant; sweep densely
+    // around it so the cliff sits between adjacent points.
+    let threshold_rows = sort_capacity_rows(memory) as f64;
+    println!("sort memory grant {memory} B ≈ {threshold_rows:.0} rows; sweep input size:\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>14} {:>14}",
+        "rows", "abrupt (s)", "graceful (s)", "abrupt writes", "graceful writes"
+    );
+
+    let mut axis = Vec::new();
+    let mut abrupt = Vec::new();
+    let mut graceful = Vec::new();
+    for factor in [0.25, 0.5, 0.9, 0.99, 1.01, 1.1, 2.0, 8.0, 32.0] {
+        let (sa, wa, rows) = sort_only(&plan(threshold_rows * factor, SpillMode::Abrupt));
+        let (sg, wg, _) = sort_only(&plan(threshold_rows * factor, SpillMode::Graceful));
+        println!("{rows:>9} {sa:>12.5} {sg:>12.5} {wa:>14} {wg:>14}");
+        axis.push(rows.max(1) as f64);
+        abrupt.push(sa);
+        graceful.push(sg);
     }
 
     let cliff_a = detect_discontinuities(&axis, &abrupt, 4.0);
@@ -57,10 +81,11 @@ fn main() {
         cliff_a.len(),
         cliff_g.len()
     );
-    for d in cliff_a {
+    for d in &cliff_a {
         println!(
             "  abrupt sort jumps {:.1}x between adjacent input sizes (work grew only {:.1}x)",
             d.cost_ratio, d.work_ratio
         );
     }
+    assert!(!cliff_a.is_empty(), "the abrupt sort should show its cliff");
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI-style verification: build, tests (unit + integration + property +
+# doc), clippy, and rustdoc — all with warnings denied.  Any warning or
+# failure exits non-zero.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "== $*"
+    "$@"
+}
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+export RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}"
+
+run cargo build --release --workspace --all-targets
+run cargo test -q --release --workspace
+run cargo test -q --release --workspace --doc
+run cargo clippy --release --workspace --all-targets -- -D warnings
+run cargo doc --no-deps --workspace
+
+echo "== smoke: regenerate Figure 1 at reduced scale"
+run cargo run --release -p robustmap-bench --bin figures -- \
+    --rows 16384 --grid 8 --out target/figures-verify fig1
+test -s target/figures-verify/fig1.csv
+test -s target/figures-verify/fig1.svg
+
+echo "verify: all green"
