@@ -71,7 +71,7 @@ fn bench_bitmap(c: &mut Criterion) {
 }
 
 fn bench_fetch_disciplines(c: &mut Criterion) {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 16));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 16));
     let t = w.cal_a.threshold(1.0 / 16.0);
     let mut group = c.benchmark_group("fetch");
     group.sample_size(20);
@@ -99,7 +99,7 @@ fn bench_fetch_disciplines(c: &mut Criterion) {
 }
 
 fn bench_sort_modes(c: &mut Criterion) {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 16));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 16));
     let mut group = c.benchmark_group("sort");
     group.sample_size(10);
     for (name, mode) in [("abrupt", SpillMode::Abrupt), ("graceful", SpillMode::Graceful)] {
@@ -125,7 +125,7 @@ fn bench_sort_modes(c: &mut Criterion) {
 }
 
 fn bench_map_builder(c: &mut Criterion) {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 14));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 14));
     let plans = two_predicate_plans(SystemId::A, &w);
     let mut group = c.benchmark_group("map_builder");
     group.sample_size(10);

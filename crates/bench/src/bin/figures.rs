@@ -66,12 +66,16 @@ fn main() {
         config.grid_exp,
         config.out_dir.display()
     );
+    let total = std::time::Instant::now();
     let t0 = std::time::Instant::now();
     let harness = Harness::new(config);
     eprintln!("workload ready in {:.1?}\n", t0.elapsed());
+    // Announce the run so shared sweeps (System A map carved from the
+    // all-systems map) kick in.
+    harness.plan_for(&wanted);
 
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for name in &wanted {
-        let t = std::time::Instant::now();
         match run_figure(&harness, name) {
             Some(out) => {
                 println!("================================================================");
@@ -79,11 +83,20 @@ fn main() {
                 for f in &out.files {
                     println!("  wrote {}", f.display());
                 }
-                eprintln!("[{name}] done in {:.1?}", t.elapsed());
+                eprintln!("[{name}] done in {:.1}s", out.wall_seconds);
+                timings.push((out.name, out.wall_seconds));
             }
             None => unreachable!("names were validated against ALL_FIGURES"),
         }
     }
+
+    // Per-figure sweep wall times: the numbers BENCH_*.json trajectories
+    // track (docs/EXPERIMENTS.md records the current landmarks).
+    eprintln!("\nsweep wall time per figure:");
+    for (name, secs) in &timings {
+        eprintln!("  {name:<16} {secs:>8.2}s");
+    }
+    eprintln!("  {:<16} {:>8.2}s (incl. workload)", "total", total.elapsed().as_secs_f64());
 }
 
 fn die(msg: &str) -> ! {

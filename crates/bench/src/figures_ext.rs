@@ -20,7 +20,7 @@ use robustmap_core::analysis::score::score_map2d;
 use robustmap_core::analysis::symmetry::symmetry_of;
 use robustmap_core::render::{absolute_scale, heatmap_svg, relative_scale, render_map2d_ansi, AsciiOptions};
 use robustmap_core::report::score_report;
-use robustmap_core::{measure_plan, MeasureConfig, RelativeMap2D};
+use robustmap_core::{measure_batch, measure_plan, MeasureConfig, RelativeMap2D};
 use robustmap_executor::{
     ColRange, FetchKind, ImprovedFetchConfig, IndexRangeSpec, JoinAlgo, KeyRange, PlanSpec,
     Predicate, Projection, SpillMode,
@@ -129,7 +129,7 @@ pub fn ext_sort_spill(h: &Harness) -> FigureOutput {
          overflow beyond memory)\n",
     );
     let files = vec![h.write_artifact("ext_sort_spill.csv", &csv)];
-    FigureOutput { name: "ext_sort_spill".into(), report, files }
+    FigureOutput::new("ext_sort_spill", report, files)
 }
 
 /// Resource dimension: a 2-D map of memory grant × input size for the
@@ -139,18 +139,13 @@ pub fn ext_memory(h: &Harness) -> FigureOutput {
     let w = &h.w;
     let size_exps: Vec<u32> = (0..=h.config.grid_exp.min(10)).rev().collect();
     let mem_kib: Vec<usize> = (4..=12).map(|e| 1usize << e).collect(); // 4 KiB .. 4 MiB
-    let mut grid = Vec::new();
-    let mut report = String::from("Extension B: sort time (s), memory grant x input size (abrupt spill)\n");
-    report.push_str(&format!("{:>10}", "rows\\mem"));
-    for &m in &mem_kib {
-        report.push_str(&format!("{:>9}K", m));
-    }
-    report.push('\n');
+    // Construct the whole size x memory grid of sort plans up front and
+    // sweep it in one batch.
+    let mut specs = Vec::with_capacity(size_exps.len() * mem_kib.len());
     for &se in size_exps.iter().rev() {
         let t = w.cal_a.threshold(0.5f64.powi(se as i32));
-        let mut row_cells = Vec::new();
         for &m in &mem_kib {
-            let plan = PlanSpec::Sort {
+            specs.push(PlanSpec::Sort {
                 input: Box::new(PlanSpec::TableScan {
                     table: w.table,
                     pred: Predicate::single(ColRange::at_most(COL_A, t)),
@@ -159,10 +154,22 @@ pub fn ext_memory(h: &Harness) -> FigureOutput {
                 key_cols: vec![0],
                 mode: SpillMode::Abrupt,
                 memory_bytes: m * 1024,
-            };
-            let meas = measure_plan(&w.db, &plan, &h.config.measure);
-            row_cells.push(meas.seconds);
+            });
         }
+    }
+    let results = measure_batch(&w.db, &specs, &h.config.measure);
+    let mut report = String::from("Extension B: sort time (s), memory grant x input size (abrupt spill)\n");
+    report.push_str(&format!("{:>10}", "rows\\mem"));
+    for &m in &mem_kib {
+        report.push_str(&format!("{:>9}K", m));
+    }
+    report.push('\n');
+    let mut grid = Vec::new();
+    for (si, &se) in size_exps.iter().rev().enumerate() {
+        let row_cells: Vec<f64> = results[si * mem_kib.len()..(si + 1) * mem_kib.len()]
+            .iter()
+            .map(|m| m.seconds)
+            .collect();
         report.push_str(&format!("{:>10}", w.rows() >> se));
         for &s in &row_cells {
             report.push_str(&format!("{:>10.4}", s));
@@ -185,7 +192,7 @@ pub fn ext_memory(h: &Harness) -> FigureOutput {
         "ext_memory.svg",
         &heatmap_svg(&flat, &sel_a, &sel_b, &absolute_scale(), "Sort cost over memory (x) and input size (y)"),
     )];
-    FigureOutput { name: "ext_memory".into(), report, files }
+    FigureOutput::new("ext_memory", report, files)
 }
 
 /// §3.3 opportunity 1: "we have not mapped worst performance, i.e.,
@@ -237,7 +244,7 @@ pub fn ext_worst(h: &Harness) -> FigureOutput {
         "ext_worst.svg",
         &heatmap_svg(&danger, &rel.sel_a, &rel.sel_b, &relative_scale(), "Danger map: worst/best factor per point"),
     )];
-    FigureOutput { name: "ext_worst".into(), report, files }
+    FigureOutput::new("ext_worst", report, files)
 }
 
 /// §3.3 opportunity 2: "we have not yet compared multiple systems and
@@ -309,7 +316,7 @@ pub fn ext_shootout(h: &Harness) -> FigureOutput {
         (0..all.plan_count()).map(|p| score_map2d(&rel, p, &all.seconds_grid(p))).collect();
     report.push_str(&score_report(&scores));
     let files = vec![h.write_artifact("ext_shootout.txt", &report)];
-    FigureOutput { name: "ext_shootout".into(), report, files }
+    FigureOutput::new("ext_shootout", report, files)
 }
 
 /// Ablations of the design choices DESIGN.md calls out: the improved
@@ -403,7 +410,7 @@ pub fn ext_ablation(h: &Harness) -> FigureOutput {
         ));
     }
     let files = vec![h.write_artifact("ext_ablation.txt", &report)];
-    FigureOutput { name: "ext_ablation".into(), report, files }
+    FigureOutput::new("ext_ablation", report, files)
 }
 
 /// Sort-merge vs. hash join over a 2-D input-size space (\[GLS94\], which
@@ -416,9 +423,13 @@ pub fn ext_join(h: &Harness) -> FigureOutput {
     let n = exps.len();
     // R = rows with a <= ta, projected to (c, a); S = rows with b <= tb,
     // projected to (c, b); equi-join on c (a permutation: 1:1 matches).
-    let join_plan = |sel_r_exp: u32, sel_s_exp: u32, algo: JoinAlgo| {
-        let ta = w.cal_a.threshold(0.5f64.powi(sel_r_exp as i32));
-        let tb = w.cal_b.threshold(0.5f64.powi(sel_s_exp as i32));
+    // Thresholds are hoisted: one calibration per axis value, not one per
+    // cell.
+    let thr_a: Vec<i64> =
+        exps.iter().rev().map(|&e| w.cal_a.threshold(0.5f64.powi(e as i32))).collect();
+    let thr_b: Vec<i64> =
+        exps.iter().rev().map(|&e| w.cal_b.threshold(0.5f64.powi(e as i32))).collect();
+    let join_plan = |ta: i64, tb: i64, algo: JoinAlgo| {
         PlanSpec::Join {
             left: Box::new(PlanSpec::TableScan {
                 table: w.table,
@@ -442,15 +453,20 @@ pub fn ext_join(h: &Harness) -> FigureOutput {
         ("hash build-left", JoinAlgo::Hash { build_left: true }),
         ("hash build-right", JoinAlgo::Hash { build_left: false }),
     ];
-    let mut grids: Vec<Vec<f64>> = vec![vec![0.0; n * n]; algos.len()];
-    for (ia, &re) in exps.iter().rev().enumerate() {
-        for (ib, &se) in exps.iter().rev().enumerate() {
-            for (gi, (_, algo)) in algos.iter().enumerate() {
-                let m = measure_plan(&w.db, &join_plan(re, se, *algo), &h.config.measure);
-                grids[gi][ia * n + ib] = m.seconds;
+    // All |algos| x n x n join plans are constructed up front and swept
+    // in one batch through the warm-path engine.
+    let mut specs = Vec::with_capacity(algos.len() * n * n);
+    for (_, algo) in &algos {
+        for &ta in &thr_a {
+            for &tb in &thr_b {
+                specs.push(join_plan(ta, tb, *algo));
             }
         }
     }
+    let results = measure_batch(&w.db, &specs, &h.config.measure);
+    let grids: Vec<Vec<f64>> = (0..algos.len())
+        .map(|gi| results[gi * n * n..(gi + 1) * n * n].iter().map(|m| m.seconds).collect())
+        .collect();
     let sels: Vec<f64> = exps.iter().rev().map(|&e| 0.5f64.powi(e as i32)).collect();
     let mut report = String::from("Extension G: sort-merge vs hash join (GLS94), |R| x |S| sweep\n");
     // Winner map and symmetry.
@@ -485,7 +501,7 @@ pub fn ext_join(h: &Harness) -> FigureOutput {
             &heatmap_svg(&grids[gi], &sels, &sels, &absolute_scale(), &format!("join cost: {name}")),
         ));
     }
-    FigureOutput { name: "ext_join".into(), report, files }
+    FigureOutput::new("ext_join", report, files)
 }
 
 /// Parallel scan robustness: speedup vs. degree of parallelism, with and
@@ -507,21 +523,32 @@ pub fn ext_parallel(h: &Harness) -> FigureOutput {
         "{:>6} {:>12} {:>12} {:>12} {:>12}\n",
         "dop", "even (s)", "skew 25%", "skew 75%", "skew 100%"
     ));
-    let serial = measure_plan(&w.db, &scan(1, 0), &h.config.measure).seconds;
-    let mut csv = String::from("dop,even,skew250,skew750,skew1000\n");
-    for dop in [1u32, 2, 4, 8, 16, 32] {
-        let mut secs = Vec::new();
-        for skew in [0u32, 250, 750, 1000] {
-            secs.push(measure_plan(&w.db, &scan(dop, skew), &h.config.measure).seconds);
+    // One batch over the dop x skew grid; the summary lines below reuse
+    // grid cells (measurements are deterministic, so re-measuring the same
+    // plan would return the same value).
+    let dops = [1u32, 2, 4, 8, 16, 32];
+    let skews = [0u32, 250, 750, 1000];
+    let mut specs = Vec::with_capacity(dops.len() * skews.len());
+    for &dop in &dops {
+        for &skew in &skews {
+            specs.push(scan(dop, skew));
         }
+    }
+    let results = measure_batch(&w.db, &specs, &h.config.measure);
+    let cell = |di: usize, ki: usize| results[di * skews.len() + ki].seconds;
+    let serial = cell(0, 0);
+    let mut csv = String::from("dop,even,skew250,skew750,skew1000\n");
+    for (di, &dop) in dops.iter().enumerate() {
+        let secs: Vec<f64> = (0..skews.len()).map(|ki| cell(di, ki)).collect();
         report.push_str(&format!(
             "{:>6} {:>12.4} {:>12.4} {:>12.4} {:>12.4}\n",
             dop, secs[0], secs[1], secs[2], secs[3]
         ));
         csv.push_str(&format!("{dop},{:e},{:e},{:e},{:e}\n", secs[0], secs[1], secs[2], secs[3]));
     }
-    let even16 = measure_plan(&w.db, &scan(16, 0), &h.config.measure).seconds;
-    let skew16 = measure_plan(&w.db, &scan(16, 1000), &h.config.measure).seconds;
+    let dop16 = dops.iter().position(|&d| d == 16).expect("dop 16 swept");
+    let even16 = cell(dop16, skews.iter().position(|&s| s == 0).expect("even swept"));
+    let skew16 = cell(dop16, skews.iter().position(|&s| s == 1000).expect("full skew swept"));
     report.push_str(&format!(
         "speedup at dop 16: {:.1}x even, {:.1}x fully skewed — skew erases parallelism, a \
          run-time condition no compile-time choice can fix\n",
@@ -529,7 +556,7 @@ pub fn ext_parallel(h: &Harness) -> FigureOutput {
         serial / skew16
     ));
     let files = vec![h.write_artifact("ext_parallel.csv", &csv)];
-    FigureOutput { name: "ext_parallel".into(), report, files }
+    FigureOutput::new("ext_parallel", report, files)
 }
 
 /// Data skew (§3: "skew (non-uniform value distributions and duplicate key
@@ -543,7 +570,7 @@ pub fn ext_skew(h: &Harness) -> FigureOutput {
         seed: h.w.config.seed,
         predicate_dist: robustmap_workload::gen::PredicateDistribution::ZipfHundredths(110),
     };
-    let wz = TableBuilder::build(zipf_cfg);
+    let wz = TableBuilder::build_cached(zipf_cfg);
     let mut report = String::from(
         "Extension I: skewed (Zipf theta=1.1) predicate column vs uniform permutation\n",
     );
@@ -587,15 +614,14 @@ pub fn ext_skew(h: &Harness) -> FigureOutput {
          improved scan's in-order fetch benefits even more than under uniform data\n",
     );
     let files = vec![h.write_artifact("ext_skew.csv", &csv)];
-    FigureOutput { name: "ext_skew".into(), report, files }
+    FigureOutput::new("ext_skew", report, files)
 }
 
 /// The §4 regression benchmark, run against the measured maps: named
 /// pass/fail checks (monotone curves, no unexplained cliffs, bounded worst
 /// cases, contiguous optimality regions) that a CI job would gate on.
 pub fn ext_regression(h: &Harness) -> FigureOutput {
-    use robustmap_core::{build_map1d, CheckConfig, Grid1D, RegressionSuite};
-    use robustmap_systems::{single_predicate_plans, SinglePredPlanSet};
+    use robustmap_core::{CheckConfig, RegressionSuite};
 
     let mut suite = RegressionSuite::new();
     // Baseline limits recorded for the current implementation at the
@@ -604,9 +630,9 @@ pub fn ext_regression(h: &Harness) -> FigureOutput {
     // the fragile fetches run into the thousands).  Tightening this limit
     // over time is §4's "track progress against these weaknesses".
     let cfg = CheckConfig { max_worst_quotient: 250.0, ..Default::default() };
-    // Figure 1's sweep: all curves must be monotone and cliff-free.
-    let plans = single_predicate_plans(SinglePredPlanSet::Basic, &h.w);
-    let map1 = build_map1d(&h.w, &plans, &Grid1D::pow2(h.config.grid_exp), &h.config.measure);
+    // Figure 1's sweep (shared with `fig1` via the harness cache): all
+    // curves must be monotone and cliff-free.
+    let map1 = h.map1d_basic();
     suite.check_map1d(&map1, &cfg);
     // 2-D checks per system, mirroring Figures 8/9: each robust plan is
     // judged against its *own* system's best (a System B plan cannot
@@ -624,7 +650,7 @@ pub fn ext_regression(h: &Harness) -> FigureOutput {
         "verdict: FAIL — a robustness property regressed\n"
     });
     let files = vec![h.write_artifact("ext_regression.txt", &report)];
-    FigureOutput { name: "ext_regression".into(), report, files }
+    FigureOutput::new("ext_regression", report, files)
 }
 
 /// Plan choice under cardinality estimation error — the paper's framing
@@ -716,7 +742,7 @@ pub fn ext_optimizer(h: &Harness) -> FigureOutput {
          plan chosen blindly beats cost-based choice fed bad cardinalities\n",
     );
     let files = vec![h.write_artifact("ext_optimizer.csv", &csv)];
-    FigureOutput { name: "ext_optimizer".into(), report, files }
+    FigureOutput::new("ext_optimizer", report, files)
 }
 
 /// Buffer pool size as the swept run-time condition (a §3 "resource"
@@ -752,5 +778,5 @@ pub fn ext_buffer(h: &Harness) -> FigureOutput {
          becomes CPU-bound\n",
     );
     let files = vec![h.write_artifact("ext_buffer.csv", &csv)];
-    FigureOutput { name: "ext_buffer".into(), report, files }
+    FigureOutput::new("ext_buffer", report, files)
 }

@@ -40,15 +40,13 @@ pub fn legends(h: &Harness) -> FigureOutput {
         let svg = heatmap_svg(&values, &axis, &[1.0], &scale, name);
         files.push(h.write_artifact(&format!("{name}.svg"), &svg));
     }
-    FigureOutput { name: "legends".into(), report, files }
+    FigureOutput::new("legends", report, files)
 }
 
 /// Figure 1: single-table single-predicate selection — table scan vs.
 /// traditional vs. improved index scan, absolute log-log.
 pub fn fig1(h: &Harness) -> FigureOutput {
-    let plans = single_predicate_plans(SinglePredPlanSet::Basic, &h.w);
-    let grid = Grid1D::pow2(h.config.grid_exp);
-    let map = build_map1d(&h.w, &plans, &grid, &h.config.measure);
+    let map = h.map1d_basic();
     let mut report = render_map1d_table(&map, "Figure 1: single-predicate selection (absolute seconds)");
     report.push_str(&landmark_report(&map));
     let scan = map.series_named("table scan").expect("plan exists").seconds();
@@ -62,7 +60,7 @@ pub fn fig1(h: &Harness) -> FigureOutput {
         h.write_artifact("fig1.csv", &map1d_to_csv(&map)),
         h.write_artifact("fig1.svg", &line_plot_svg(&map, "Figure 1: single-predicate selection", "seconds (log)")),
     ];
-    FigureOutput { name: "fig1".into(), report, files }
+    FigureOutput::new("fig1", report, files)
 }
 
 /// Figure 2: advanced selection plans — relative performance, adding the
@@ -95,7 +93,7 @@ pub fn fig2(h: &Harness) -> FigureOutput {
             &line_plot_svg(&rel_map, "Figure 2: advanced selection plans", "factor vs best (log)"),
         ),
     ];
-    FigureOutput { name: "fig2".into(), report, files }
+    FigureOutput::new("fig2", report, files)
 }
 
 /// Figure 4: two-predicate single-index selection — absolute 2-D map of
@@ -147,7 +145,7 @@ pub fn fig4(h: &Harness) -> FigureOutput {
             &heatmap_svg(&grid, &map.sel_a, &map.sel_b, &absolute_scale(), "Figure 4: single-index plan, absolute seconds"),
         ),
     ];
-    FigureOutput { name: "fig4".into(), report, files }
+    FigureOutput::new("fig4", report, files)
 }
 
 /// Figure 5: two-index merge join — absolute 2-D map; symmetric in the two
@@ -193,7 +191,7 @@ pub fn fig5(h: &Harness) -> FigureOutput {
             &heatmap_svg(&grid, &map.sel_a, &map.sel_b, &absolute_scale(), "Figure 5: two-index merge join, absolute seconds"),
         ),
     ];
-    FigureOutput { name: "fig5".into(), report, files }
+    FigureOutput::new("fig5", report, files)
 }
 
 /// Figure 7: the Figure 4 plan relative to the best of System A's seven
@@ -234,7 +232,7 @@ pub fn fig7(h: &Harness) -> FigureOutput {
             &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 7: single-index plan vs best of 7"),
         ),
     ];
-    FigureOutput { name: "fig7".into(), report, files }
+    FigureOutput::new("fig7", report, files)
 }
 
 /// Figure 8: System B's two-column-index plan (bitmap-sorted fetch),
@@ -277,7 +275,7 @@ pub fn fig8(h: &Harness) -> FigureOutput {
             &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 8: System B bitmap-fetch plan vs best of System B"),
         ),
     ];
-    FigureOutput { name: "fig8".into(), report, files }
+    FigureOutput::new("fig8", report, files)
 }
 
 /// Figure 9: System C's MDAM plan over the covering two-column index,
@@ -316,7 +314,7 @@ pub fn fig9(h: &Harness) -> FigureOutput {
             &heatmap_svg(&quotients, &rel.sel_a, &rel.sel_b, &relative_scale(), "Figure 9: System C MDAM plan vs best of System C"),
         ),
     ];
-    FigureOutput { name: "fig9".into(), report, files }
+    FigureOutput::new("fig9", report, files)
 }
 
 /// Figure 10: the optimal-plans map — most points have several optimal
@@ -358,5 +356,5 @@ pub fn fig10(h: &Harness) -> FigureOutput {
             ),
         ),
     ];
-    FigureOutput { name: "fig10".into(), report, files }
+    FigureOutput::new("fig10", report, files)
 }

@@ -1,18 +1,22 @@
-//! Shared harness state: the workload, measurement config, lazily built
-//! maps (several figures share the System A map), and artifact output.
+//! Shared harness state: the workload (served from the workload cache),
+//! measurement config, lazily built maps (several figures share the System
+//! A map, and the System A map itself is carved out of the all-systems map
+//! when both are needed), and artifact output.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
 
-use robustmap_core::{build_map2d, Grid2D, Map2D, MeasureConfig};
-use robustmap_systems::{two_predicate_plans, SystemId, TwoPredPlan};
+use robustmap_core::{build_map1d, build_map2d, Grid1D, Grid2D, Map1D, Map2D, MeasureConfig};
+use robustmap_systems::{
+    single_predicate_plans, two_predicate_plans, SinglePredPlanSet, SystemId, TwoPredPlan,
+};
 use robustmap_workload::{TableBuilder, Workload, WorkloadConfig};
 
 /// Harness scale parameters.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Table rows (paper: 60M; default here: 2^20, recorded in
-    /// EXPERIMENTS.md).
+    /// `docs/EXPERIMENTS.md`).
     pub rows: u64,
     /// Grid exponent: axes run `2^-grid_exp ..= 1` in factor-2 steps.
     pub grid_exp: u32,
@@ -33,7 +37,8 @@ impl Default for HarnessConfig {
     }
 }
 
-/// One regenerated figure: its printed report and written artifact files.
+/// One regenerated figure: its printed report, written artifact files, and
+/// how long the regeneration took.
 #[derive(Debug, Clone)]
 pub struct FigureOutput {
     /// Figure id, e.g. `"fig7"`.
@@ -42,6 +47,17 @@ pub struct FigureOutput {
     pub report: String,
     /// Paths of artifacts written (CSV, SVG).
     pub files: Vec<PathBuf>,
+    /// Real (wall clock) seconds the sweep + rendering took, filled in by
+    /// [`crate::run_figure`] — the number `BENCH_*.json` trajectories track.
+    pub wall_seconds: f64,
+}
+
+impl FigureOutput {
+    /// A figure output with the wall time still unset (the runner stamps
+    /// it).
+    pub fn new(name: &str, report: String, files: Vec<PathBuf>) -> Self {
+        FigureOutput { name: name.to_string(), report, files, wall_seconds: 0.0 }
+    }
 }
 
 /// Workload + caches shared by all figure functions.
@@ -52,14 +68,39 @@ pub struct Harness {
     pub config: HarnessConfig,
     map_a: RefCell<Option<Map2D>>,
     map_all: RefCell<Option<Map2D>>,
+    map1_basic: RefCell<Option<Map1D>>,
+    want_all_systems: Cell<bool>,
 }
 
+/// Figure ids that need the fifteen-plan all-systems map.  When a run will
+/// touch any of these *and* a System-A-only figure, the harness builds the
+/// all-systems map once and carves the System A map out of it instead of
+/// sweeping the same seven plans twice (cell measurements are independent,
+/// so the subset is identical to a dedicated sweep).
+pub(crate) const NEEDS_ALL_SYSTEMS: &[&str] = &[
+    "fig8",
+    "fig9",
+    "fig10",
+    "ext_worst",
+    "ext_shootout",
+    "ext_optimizer",
+    "ext_regression",
+];
+
 impl Harness {
-    /// Build the workload and prepare the output directory.
+    /// Build (or load from the workload cache) the workload and prepare
+    /// the output directory.
     pub fn new(config: HarnessConfig) -> Self {
-        let w = TableBuilder::build(WorkloadConfig::with_rows(config.rows));
+        let w = TableBuilder::build_cached(WorkloadConfig::with_rows(config.rows));
         std::fs::create_dir_all(&config.out_dir).expect("create output directory");
-        Harness { w, config, map_a: RefCell::new(None), map_all: RefCell::new(None) }
+        Harness {
+            w,
+            config,
+            map_a: RefCell::new(None),
+            map_all: RefCell::new(None),
+            map1_basic: RefCell::new(None),
+            want_all_systems: Cell::new(false),
+        }
     }
 
     /// A fast harness for tests and Criterion benches: 2^14 rows, 2^-8
@@ -73,16 +114,40 @@ impl Harness {
         })
     }
 
+    /// Announce which figures a run will regenerate, letting the harness
+    /// choose shared sweeps (see `NEEDS_ALL_SYSTEMS` in this module).
+    /// Calling this is optional — figures are correct without it, just
+    /// slower when both the System A and all-systems maps end up being
+    /// built.
+    pub fn plan_for<S: AsRef<str>>(&self, names: &[S]) {
+        if names.iter().any(|n| NEEDS_ALL_SYSTEMS.contains(&n.as_ref())) {
+            self.want_all_systems.set(true);
+        }
+    }
+
+    /// Whether the all-systems map has been built — test introspection
+    /// keeping `NEEDS_ALL_SYSTEMS` honest against actual figure behaviour.
+    #[cfg(test)]
+    pub(crate) fn map_all_is_built(&self) -> bool {
+        self.map_all.borrow().is_some()
+    }
+
     /// The 2-D grid all two-predicate maps use.
     pub fn grid2d(&self) -> Grid2D {
         Grid2D::pow2(self.config.grid_exp)
     }
 
-    /// System A's seven-plan 2-D map (Figures 4, 5, 7), built once.
+    /// System A's seven-plan 2-D map (Figures 4, 5, 7), built once — as a
+    /// subset of the all-systems map whenever that map exists or is known
+    /// to be coming ([`Harness::plan_for`]).
     pub fn map_system_a(&self) -> Map2D {
         if self.map_a.borrow().is_none() {
-            let plans = two_predicate_plans(SystemId::A, &self.w);
-            let map = build_map2d(&self.w, &plans, &self.grid2d(), &self.config.measure);
+            let map = if self.want_all_systems.get() || self.map_all.borrow().is_some() {
+                self.map_all_systems().subset_by_prefix("A")
+            } else {
+                let plans = two_predicate_plans(SystemId::A, &self.w);
+                build_map2d(&self.w, &plans, &self.grid2d(), &self.config.measure)
+            };
             *self.map_a.borrow_mut() = Some(map);
         }
         self.map_a.borrow().clone().expect("just built")
@@ -100,6 +165,18 @@ impl Harness {
             *self.map_all.borrow_mut() = Some(map);
         }
         self.map_all.borrow().clone().expect("just built")
+    }
+
+    /// The Figure 1 single-predicate map (basic plan set over the full
+    /// grid), built once and shared with the regression suite.
+    pub fn map1d_basic(&self) -> Map1D {
+        if self.map1_basic.borrow().is_none() {
+            let plans = single_predicate_plans(SinglePredPlanSet::Basic, &self.w);
+            let grid = Grid1D::pow2(self.config.grid_exp);
+            let map = build_map1d(&self.w, &plans, &grid, &self.config.measure);
+            *self.map1_basic.borrow_mut() = Some(map);
+        }
+        self.map1_basic.borrow().clone().expect("just built")
     }
 
     /// Write an artifact file, returning its path.
@@ -129,6 +206,21 @@ mod tests {
         assert_eq!(m1.dims(), (9, 9));
         let all = h.map_all_systems();
         assert_eq!(all.plan_count(), 15);
+    }
+
+    #[test]
+    fn system_a_map_is_the_same_standalone_or_carved_from_all_systems() {
+        // Standalone: no plan announced, A map swept directly.
+        let standalone = Harness::tiny().map_system_a();
+        // Carved: fig8 announced, so the A map is a subset of the
+        // all-systems sweep.  Cells are measured in isolation, so the two
+        // must be identical — this is what keeps CSV artifacts byte-stable
+        // whichever figures a run regenerates.
+        let h = Harness::tiny();
+        h.plan_for(&["fig4", "fig8"]);
+        let carved = h.map_system_a();
+        assert_eq!(standalone, carved);
+        assert_eq!(h.map_all_systems().subset_by_prefix("A"), carved);
     }
 
     #[test]

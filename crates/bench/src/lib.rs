@@ -45,8 +45,17 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_regression",
 ];
 
-/// Run one named figure against a harness.  Unknown names return `None`.
+/// Run one named figure against a harness, stamping
+/// [`FigureOutput::wall_seconds`] with the real time the regeneration
+/// took.  Unknown names return `None`.
 pub fn run_figure(h: &Harness, name: &str) -> Option<FigureOutput> {
+    let t0 = std::time::Instant::now();
+    let mut out = run_figure_inner(h, name)?;
+    out.wall_seconds = t0.elapsed().as_secs_f64();
+    Some(out)
+}
+
+fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
     Some(match name {
         "legends" => figures_paper::legends(h),
         "fig1" => figures_paper::fig1(h),
@@ -79,9 +88,28 @@ mod tests {
     #[test]
     fn every_listed_figure_is_runnable() {
         let h = Harness::tiny();
+        h.plan_for(ALL_FIGURES);
         for name in ALL_FIGURES {
             let out = run_figure(&h, name).expect("known figure");
             assert!(!out.report.is_empty(), "{name} produced an empty report");
+            assert!(out.wall_seconds > 0.0, "{name} wall time not stamped");
+        }
+    }
+
+    #[test]
+    fn needs_all_systems_list_matches_figure_behaviour() {
+        // The shared-sweep bookkeeping is a hand-maintained list; this
+        // pins it to what the figure bodies actually do.  Each figure runs
+        // on its own harness with nothing announced, so `map_all` is built
+        // exactly when the figure itself asks for it.
+        for name in ALL_FIGURES {
+            let h = Harness::tiny();
+            run_figure(&h, name).expect("known figure");
+            assert_eq!(
+                h.map_all_is_built(),
+                crate::harness::NEEDS_ALL_SYSTEMS.contains(name),
+                "{name}: NEEDS_ALL_SYSTEMS out of sync with actual map_all_systems() usage"
+            );
         }
     }
 

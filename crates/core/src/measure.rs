@@ -1,10 +1,22 @@
 //! The map builder: measuring plans across parameter grids.
 //!
-//! Each (plan, grid point) pair executes in a fresh [`Session`] — cold
-//! buffer pool, private simulated clock — so every cell is independent and
-//! the whole map is deterministic no matter how many threads sweep it.
-//! That mirrors the paper's methodology of measuring each plan/parameter
+//! Each (plan, grid point) pair executes under cold-session conditions —
+//! cold buffer pool, clock at zero — so every cell is independent and the
+//! whole map is deterministic no matter how many threads sweep it.  That
+//! mirrors the paper's methodology of measuring each plan/parameter
 //! combination in isolation.
+//!
+//! ## The warm path
+//!
+//! Cold *conditions* do not require a cold *allocation*: constructing a
+//! [`Session`] per cell rebuilds the buffer pool's map and slot arena
+//! thousands of times per map.  Instead, each worker thread owns one
+//! [`SweepArena`] — a session it [`Session::reset`]s between cells, which
+//! restores exactly the as-constructed state (zero clock, empty pool, same
+//! capacity and policy).  `warm_sessions_measure_like_cold_sessions` in
+//! this module and `tests/warm_sweep_equivalence.rs` assert cell-for-cell
+//! that the two paths produce identical [`Measurement`]s; the design
+//! argument is recorded in `docs/DESIGN.md`.
 
 use robustmap_executor::{execute_count, ExecCtx, PlanSpec};
 use robustmap_storage::{BufferPool, CostModel, Database, EvictionPolicy, IoStats, Session};
@@ -71,19 +83,88 @@ impl MeasureConfig {
     }
 }
 
-/// Execute one plan under the configured run-time conditions and return its
-/// measurement.  The building block for custom sweeps (sort-spill maps,
-/// memory maps, buffer-pool maps).
-pub fn measure_plan(db: &Database, plan: &PlanSpec, cfg: &MeasureConfig) -> Measurement {
-    let session = cfg.session();
-    let ctx = ExecCtx::new(db, &session, cfg.memory_bytes);
-    let stats = execute_count(plan, &ctx).expect("measured plans must be well-formed");
-    Measurement {
-        seconds: stats.seconds,
-        io: stats.io,
-        rows: stats.rows_out,
-        spilled: stats.spilled,
+/// A reusable per-thread measurement context: one [`Session`] that is
+/// [`Session::reset`] before every plan execution.
+///
+/// Resetting restores the exact state of a freshly constructed session —
+/// cold buffer pool, clock at zero — while keeping the pool's allocations,
+/// so a sweep pays the session setup once per thread instead of once per
+/// cell.  Measurements taken through an arena are identical to
+/// [`measure_plan`]'s fresh-session measurements (asserted by this
+/// module's tests and `tests/warm_sweep_equivalence.rs`).
+pub struct SweepArena {
+    session: Session,
+    memory_bytes: usize,
+}
+
+impl SweepArena {
+    /// An arena measuring under `cfg`'s run-time conditions.
+    pub fn new(cfg: &MeasureConfig) -> Self {
+        SweepArena { session: cfg.session(), memory_bytes: cfg.memory_bytes }
     }
+
+    /// Execute `plan` under cold-session conditions and return its
+    /// measurement.
+    pub fn measure(&mut self, db: &Database, plan: &PlanSpec) -> Measurement {
+        self.session.reset();
+        let ctx = ExecCtx::new(db, &self.session, self.memory_bytes);
+        let stats = execute_count(plan, &ctx).expect("measured plans must be well-formed");
+        Measurement {
+            seconds: stats.seconds,
+            io: stats.io,
+            rows: stats.rows_out,
+            spilled: stats.spilled,
+        }
+    }
+}
+
+/// Execute one plan under the configured run-time conditions and return its
+/// measurement.  The building block for one-off measurements; sweeps over
+/// many plans should use [`measure_batch`] (or a [`SweepArena`] directly)
+/// so the session is constructed once, not per cell.
+pub fn measure_plan(db: &Database, plan: &PlanSpec, cfg: &MeasureConfig) -> Measurement {
+    SweepArena::new(cfg).measure(db, plan)
+}
+
+/// Measure every plan in `plans`, returning measurements in input order.
+///
+/// This is the warm-path sweep engine all maps are built on: work items are
+/// distributed over worker threads, each thread reuses one [`SweepArena`],
+/// and results are written into their input slots — so the output is
+/// deterministic regardless of thread count or scheduling.
+pub fn measure_batch(db: &Database, plans: &[PlanSpec], cfg: &MeasureConfig) -> Vec<Measurement> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = cfg.effective_threads(plans.len());
+    if threads <= 1 {
+        let mut arena = SweepArena::new(cfg);
+        return plans.iter().map(|p| arena.measure(db, p)).collect();
+    }
+    let mut results = vec![Measurement::default(); plans.len()];
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Measurement)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut arena = SweepArena::new(cfg);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(plan) = plans.get(i) else { break };
+                    let m = arena.measure(db, plan);
+                    tx.send((i, m)).expect("collector alive");
+                }
+            });
+        }
+        // Workers hold the remaining senders; dropping ours lets the
+        // collector loop end once every worker has finished.
+        drop(tx);
+        for (slot, m) in rx {
+            results[slot] = m;
+        }
+    });
+    results
 }
 
 /// Sweep single-predicate plans over a 1-D selectivity grid (Figures 1, 2).
@@ -95,18 +176,13 @@ pub fn build_map1d(
 ) -> Map1D {
     let thresholds: Vec<(i64, u64)> =
         grid.sels().iter().map(|&s| w.cal_a.threshold_with_count(s)).collect();
-    // Work item = (plan index, grid index).
-    let specs: Vec<(usize, usize, PlanSpec)> = plans
+    // All plans are constructed up front, in plan-major slot order, then
+    // swept in one batch.
+    let specs: Vec<PlanSpec> = plans
         .iter()
-        .enumerate()
-        .flat_map(|(pi, plan)| {
-            thresholds
-                .iter()
-                .enumerate()
-                .map(move |(gi, &(t, _))| (pi, gi, plan.build(t)))
-        })
+        .flat_map(|plan| thresholds.iter().map(|&(t, _)| plan.build(t)))
         .collect();
-    let results = run_parallel(&w.db, &specs, cfg, plans.len(), grid.len());
+    let results = measure_batch(&w.db, &specs, cfg);
     let series = plans
         .iter()
         .enumerate()
@@ -132,19 +208,18 @@ pub fn build_map2d(
     let ta: Vec<i64> = grid.sel_a().iter().map(|&s| w.cal_a.threshold(s)).collect();
     let tb: Vec<i64> = grid.sel_b().iter().map(|&s| w.cal_b.threshold(s)).collect();
     let (na, nb) = grid.dims();
-    let specs: Vec<(usize, usize, PlanSpec)> = plans
+    // All plans constructed up front (thresholds computed once per axis,
+    // not once per cell), in plan-major row-major slot order.
+    let specs: Vec<PlanSpec> = plans
         .iter()
-        .enumerate()
-        .flat_map(|(pi, plan)| {
+        .flat_map(|plan| {
             let ta = &ta;
             let tb = &tb;
-            (0..na).flat_map(move |ia| {
-                (0..nb).map(move |ib| (pi, ia * nb + ib, plan.build(ta[ia], tb[ib])))
-            })
+            (0..na).flat_map(move |ia| (0..nb).map(move |ib| plan.build(ta[ia], tb[ib])))
         })
         .collect();
     let cells = na * nb;
-    let results = run_parallel(&w.db, &specs, cfg, plans.len(), cells);
+    let results = measure_batch(&w.db, &specs, cfg);
     let data: Vec<Vec<Measurement>> = plans
         .iter()
         .enumerate()
@@ -156,51 +231,6 @@ pub fn build_map2d(
         plans.iter().map(|p| p.name.clone()).collect(),
         data,
     )
-}
-
-/// Execute all work items across worker threads.  Returns a dense
-/// plan-major result vector: slot `pi * cells + cell` holds the measurement
-/// of work item `(pi, cell, _)`.  Deterministic: cell results do not depend
-/// on scheduling, because every execution has a private session.
-fn run_parallel(
-    db: &Database,
-    specs: &[(usize, usize, PlanSpec)],
-    cfg: &MeasureConfig,
-    plan_count: usize,
-    cells: usize,
-) -> Vec<Measurement> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let total_slots = plan_count * cells;
-    let mut results = vec![Measurement::default(); total_slots];
-    let threads = cfg.effective_threads(specs.len());
-    if threads <= 1 {
-        for (pi, cell, spec) in specs {
-            results[pi * cells + cell] = measure_plan(db, spec, cfg);
-        }
-        return results;
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Measurement)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((pi, cell, spec)) = specs.get(i) else { break };
-                let m = measure_plan(db, spec, cfg);
-                tx.send((pi * cells + cell, m)).expect("collector alive");
-            });
-        }
-        // Workers hold the remaining senders; dropping ours lets the
-        // collector loop end once every worker has finished.
-        drop(tx);
-        for (slot, m) in rx {
-            results[slot] = m;
-        }
-    });
-    results
 }
 
 #[cfg(test)]
@@ -256,6 +286,73 @@ mod tests {
         let (lo, hi) = secs.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &s| (l.min(s), h.max(s)));
         // Constant within CPU noise of the predicate/projection work.
         assert!(hi / lo < 1.2, "table scan varies: {lo} .. {hi}");
+    }
+
+    #[test]
+    fn warm_sessions_measure_like_cold_sessions() {
+        // The warm-path contract: one arena measuring N plans in sequence
+        // (including a spilling plan that dirties temp-file state) gives
+        // exactly the Measurements that N fresh sessions give.
+        use robustmap_executor::{PlanSpec, Predicate, Projection, SpillMode};
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plans_a = single_predicate_plans(SinglePredPlanSet::WithIndexJoins, &w);
+        let mut specs: Vec<PlanSpec> = Vec::new();
+        for sel_exp in [0, 2, 5] {
+            let t = w.cal_a.threshold(0.5f64.powi(sel_exp));
+            for p in &plans_a {
+                specs.push(p.build(t));
+            }
+            // A spilling sort between map cells: a reset must also clear
+            // any pool residue of temp-file pages.
+            specs.push(PlanSpec::Sort {
+                input: Box::new(PlanSpec::TableScan {
+                    table: w.table,
+                    pred: Predicate::single(
+                        robustmap_executor::ColRange::at_most(0, t),
+                    ),
+                    project: Projection::All,
+                }),
+                key_cols: vec![0],
+                mode: SpillMode::Abrupt,
+                memory_bytes: 4096,
+            });
+        }
+        let cfg = MeasureConfig { threads: 1, ..Default::default() };
+        let mut arena = SweepArena::new(&cfg);
+        for (i, spec) in specs.iter().enumerate() {
+            let warm = arena.measure(&w.db, spec);
+            let cold = {
+                let session = cfg.session();
+                let ctx =
+                    robustmap_executor::ExecCtx::new(&w.db, &session, cfg.memory_bytes);
+                let stats = robustmap_executor::execute_count(spec, &ctx).unwrap();
+                Measurement {
+                    seconds: stats.seconds,
+                    io: stats.io,
+                    rows: stats.rows_out,
+                    spilled: stats.spilled,
+                }
+            };
+            assert_eq!(warm, cold, "plan #{i} diverged between warm and cold sessions");
+        }
+    }
+
+    #[test]
+    fn measure_batch_matches_per_plan_measurement() {
+        let w = TableBuilder::build(WorkloadConfig::small());
+        let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
+        let specs: Vec<_> =
+            [0.25, 1.0].iter().flat_map(|&s| {
+                let t = w.cal_a.threshold(s);
+                plans.iter().map(move |p| p.build(t))
+            }).collect();
+        for threads in [1, 4] {
+            let cfg = quick_cfg(threads);
+            let batch = measure_batch(&w.db, &specs, &cfg);
+            for (spec, got) in specs.iter().zip(&batch) {
+                assert_eq!(*got, measure_plan(&w.db, spec, &cfg));
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! partial aggregates and raw rows can be merged on the final pass.
 
 use std::collections::hash_map::Entry as MapEntry;
-use std::collections::HashMap;
+use robustmap_storage::FxHashMap;
 
 use robustmap_storage::{AccessKind, PageId, Row, Session, PAGE_SIZE};
 
@@ -67,7 +67,7 @@ pub struct HashAggregator<'a, 'b> {
     aggs: Vec<AggFn>,
     mode: SpillMode,
     max_groups: usize,
-    table: HashMap<Row, Vec<AggState>>,
+    table: FxHashMap<Row, Vec<AggState>>,
     /// Spilled rows, partitioned by group-key hash: `(group key, per-agg
     /// partial state)`.
     partitions: Vec<Vec<(Row, Vec<AggState>)>>,
@@ -91,7 +91,7 @@ impl<'a, 'b> HashAggregator<'a, 'b> {
             aggs,
             mode,
             max_groups: (memory_bytes / GROUP_BYTES).max(1),
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             partitions: vec![Vec::new(); PARTITIONS],
             spill_buffered: 0,
             bypass: false,
@@ -201,7 +201,7 @@ impl<'a, 'b> HashAggregator<'a, 'b> {
             }
             session.invalidate_file(file);
         }
-        let mut final_groups: HashMap<Row, Vec<AggState>> = std::mem::take(&mut self.table);
+        let mut final_groups: FxHashMap<Row, Vec<AggState>> = std::mem::take(&mut self.table);
         for part in std::mem::take(&mut self.partitions) {
             session.charge_hashes(part.len() as u64);
             for (key, states) in part {

@@ -17,9 +17,7 @@
 //! [`robustmap_storage::MAX_COLUMNS`] limit); callers project children
 //! accordingly.
 
-use std::collections::HashMap;
-
-use robustmap_storage::{AccessKind, PageId, Row, PAGE_SIZE};
+use robustmap_storage::{AccessKind, FxBuildHasher, FxHashMap, PageId, Row, PAGE_SIZE};
 
 use crate::exec::{ExecCtx, ExecError};
 use crate::ops::sort::ExternalSorter;
@@ -165,19 +163,41 @@ fn hash_join_in_memory(
     let session = ctx.session;
     // Build costs double per row (insertion + growth), as in the rid join.
     session.charge_hashes(2 * build.len() as u64);
-    let mut table: HashMap<i64, Vec<&Row>> = HashMap::new();
-    for r in build {
-        table.entry(r.get(build_key)).or_default().push(r);
+    // Chained layout: the map holds `(head, tail)` indices into `build` per
+    // key and `next` threads same-key rows in insertion order — one shared
+    // allocation instead of a `Vec` per distinct key, which matters when a
+    // million-row build side has (near-)unique keys.
+    const NIL: u32 = u32::MAX;
+    let mut table: FxHashMap<i64, (u32, u32)> =
+        FxHashMap::with_capacity_and_hasher(build.len(), FxBuildHasher::default());
+    let mut next: Vec<u32> = vec![NIL; build.len()];
+    for (i, r) in build.iter().enumerate() {
+        match table.entry(r.get(build_key)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let tail = e.get().1;
+                next[tail as usize] = i as u32;
+                e.get_mut().1 = i as u32;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((i as u32, i as u32));
+            }
+        }
     }
     session.charge_hashes(probe.len() as u64);
     let mut produced = 0u64;
     for p in probe {
-        if let Some(matches) = table.get(&p.get(probe_key)) {
-            for b in matches {
+        if let Some(&(head, _)) = table.get(&p.get(probe_key)) {
+            let mut idx = head;
+            loop {
+                let b = &build[idx as usize];
                 session.charge_rows(1);
                 let row = if swap_output { combined(p, b) } else { combined(b, p) };
                 sink(&row);
                 produced += 1;
+                idx = next[idx as usize];
+                if idx == NIL {
+                    break;
+                }
             }
         }
     }

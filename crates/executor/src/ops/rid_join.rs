@@ -12,11 +12,9 @@
 //! builds on one side and probes with the other — asymmetric, as the paper
 //! (citing \[GLS94\]) points out.
 
-use std::collections::HashMap;
-
 use robustmap_storage::btree::Entry;
 use robustmap_storage::heap::Rid;
-use robustmap_storage::{Row, Session};
+use robustmap_storage::{FxBuildHasher, FxHashMap, FxHashSet, Row, Session};
 
 use crate::exec::ExecCtx;
 use crate::plan::IntersectAlgo;
@@ -128,7 +126,9 @@ fn hash_intersect_in_memory(build: &[Rid], probe: &[Rid], session: &Session) -> 
     // join orders that the paper (citing [GLS94]) contrasts with the merge
     // join's symmetry.
     session.charge_hashes(2 * build.len() as u64);
-    let set: std::collections::HashSet<Rid> = build.iter().copied().collect();
+    let mut set: FxHashSet<Rid> =
+        FxHashSet::with_capacity_and_hasher(build.len(), FxBuildHasher::default());
+    set.extend(build.iter().copied());
     session.charge_hashes(probe.len() as u64);
     probe.iter().copied().filter(|r| set.contains(r)).collect()
 }
@@ -166,6 +166,16 @@ fn combined_row(left_key: &robustmap_storage::Key, right_key: &robustmap_storage
     row
 }
 
+/// Sort entries by rid through light `(rid, index)` pairs: the sort moves
+/// 16-byte elements instead of 40-byte entries, and rids are unique so the
+/// order is exactly `sort_unstable_by_key(|(_, rid)| rid)`'s.
+fn sort_entries_by_rid(entries: &mut Vec<Entry>) {
+    let mut order: Vec<(u64, u32)> =
+        entries.iter().enumerate().map(|(i, &(_, rid))| (rid.to_u64(), i as u32)).collect();
+    order.sort_unstable();
+    *entries = order.iter().map(|&(_, i)| entries[i as usize]).collect();
+}
+
 fn covering_merge_join(
     mut left: Vec<Entry>,
     mut right: Vec<Entry>,
@@ -174,8 +184,8 @@ fn covering_merge_join(
 ) -> u64 {
     charge_sort(session, left.len() as u64);
     charge_sort(session, right.len() as u64);
-    left.sort_unstable_by_key(|&(_, rid)| rid);
-    right.sort_unstable_by_key(|&(_, rid)| rid);
+    sort_entries_by_rid(&mut left);
+    sort_entries_by_rid(&mut right);
     let (mut i, mut j) = (0, 0);
     let mut produced = 0u64;
     let mut compares = 0u64;
@@ -229,14 +239,18 @@ fn covering_hash_join(
     }
     // Build side pays double (see `hash_intersect_in_memory`).
     session.charge_hashes(2 * build.len() as u64);
-    let mut table: HashMap<Rid, robustmap_storage::Key> = HashMap::with_capacity(build.len());
-    for (key, rid) in build {
-        table.insert(rid, key);
+    // The table maps packed rids to indices into `build` — 16-byte pairs
+    // instead of 48-byte (rid, key) pairs, since rids are unique.
+    let mut table: FxHashMap<u64, u32> =
+        FxHashMap::with_capacity_and_hasher(build.len(), FxBuildHasher::default());
+    for (i, &(_, rid)) in build.iter().enumerate() {
+        table.insert(rid.to_u64(), i as u32);
     }
     session.charge_hashes(probe.len() as u64);
     let mut produced = 0u64;
     for (probe_key, rid) in probe {
-        if let Some(build_key) = table.get(&rid) {
+        if let Some(&i) = table.get(&rid.to_u64()) {
+            let build_key = &build[i as usize].0;
             let row = if swap_output {
                 combined_row(&probe_key, build_key)
             } else {

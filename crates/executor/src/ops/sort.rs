@@ -18,42 +18,124 @@
 //! Merging honours a fan-in limit derived from the memory grant; run counts
 //! beyond it trigger intermediate merge passes (more I/O), another
 //! real-world robustness cliff.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! ## Internal representation
+//!
+//! Rows order by `(projected key columns, full row)`.  Heaps and sort
+//! buffers hold light `(first key value, row handle)` pairs — 16 bytes —
+//! instead of key-plus-row pairs (144 bytes): heap sifts move 9× less
+//! memory, and only key ties fall back to the full comparison.  The order
+//! relation is unchanged, and simulated costs are charged analytically
+//! (per-push/per-pop/per-sort formulas), so measurements are bit-identical
+//! to the fat representation; only real (wall clock) sweep time drops.
 
 use robustmap_storage::{AccessKind, PageId, Row, Session, PAGE_SIZE};
 
 use crate::exec::ExecCtx;
 use crate::plan::SpillMode;
 
-/// A row paired with its extracted sort key; ordered by key, then by the
-/// full row for determinism.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Keyed {
-    key: Row,
-    row: Row,
+/// The full sort order: projected key columns, then the entire row (the
+/// tie-break that keeps output deterministic under duplicate keys).
+fn keyed_cmp(a: &Row, b: &Row, key_cols: &[usize]) -> std::cmp::Ordering {
+    for &c in key_cols {
+        match a.get(c).cmp(&b.get(c)) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.values().cmp(b.values())
 }
 
-impl Ord for Keyed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key
-            .values()
-            .cmp(other.key.values())
-            .then_with(|| self.row.values().cmp(other.row.values()))
+/// A light heap/sort element: the leading key value inline (the decisive
+/// comparison in almost every sift) and a handle to the full row.
+#[derive(Debug, Clone, Copy)]
+struct Handle {
+    key0: i64,
+    slot: u32,
+}
+
+/// Minimal binary min-heap with an external comparator
+/// (`std::collections::BinaryHeap` cannot borrow the row storage its
+/// comparisons need).  `less` must be a strict weak ordering; elements that
+/// compare equal may surface in any order, which is harmless here because
+/// fully-equal sort items are bit-identical rows.
+fn sift_up<T: Copy>(heap: &mut [T], mut i: usize, less: &mut impl FnMut(T, T) -> bool) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if less(heap[i], heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
     }
 }
 
-impl PartialOrd for Keyed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+fn sift_down<T: Copy>(heap: &mut [T], mut i: usize, less: &mut impl FnMut(T, T) -> bool) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < heap.len() && less(heap[l], heap[smallest]) {
+            smallest = l;
+        }
+        if r < heap.len() && less(heap[r], heap[smallest]) {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+fn heap_push<T: Copy>(heap: &mut Vec<T>, item: T, less: &mut impl FnMut(T, T) -> bool) {
+    heap.push(item);
+    let last = heap.len() - 1;
+    sift_up(heap, last, less);
+}
+
+fn heap_pop<T: Copy>(heap: &mut Vec<T>, less: &mut impl FnMut(T, T) -> bool) -> Option<T> {
+    if heap.is_empty() {
+        return None;
+    }
+    let top = heap.swap_remove(0);
+    sift_down(heap, 0, less);
+    Some(top)
+}
+
+/// Row storage for the replacement-selection window: stable `u32` handles,
+/// freed slots recycled.
+#[derive(Default)]
+struct Slab {
+    rows: Vec<Row>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    fn insert(&mut self, row: Row) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.rows[slot as usize] = row;
+            slot
+        } else {
+            self.rows.push(row);
+            (self.rows.len() - 1) as u32
+        }
+    }
+
+    fn remove(&mut self, slot: u32) -> Row {
+        self.free.push(slot);
+        self.rows[slot as usize]
+    }
+
+    fn get(&self, slot: u32) -> &Row {
+        &self.rows[slot as usize]
     }
 }
 
 /// One sorted run.  `rows` is fully sorted; the first `disk_rows` of them
 /// were written to (and must be read back from) the simulated disk.
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct SortedRun {
     rows: Vec<Row>,
     disk_rows: usize,
@@ -69,11 +151,13 @@ pub struct ExternalSorter<'a, 'b> {
     rows_per_page: usize,
     input_rows: u64,
     // Abrupt state: a buffer that sorts and spills wholesale.
-    buffer: Vec<Keyed>,
-    // Graceful state: replacement selection with a current and a next heap.
-    current: BinaryHeap<Reverse<Keyed>>,
-    pending: Vec<Keyed>,
-    last_out: Option<Keyed>,
+    buffer: Vec<Row>,
+    // Graceful state: replacement selection with a current heap and the
+    // pending rows of the *next* run.
+    slab: Slab,
+    current: Vec<Handle>,
+    pending: Vec<Row>,
+    last_out: Option<Row>,
     open_run: Vec<Row>,
     runs: Vec<SortedRun>,
     spilled: bool,
@@ -108,7 +192,8 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
             rows_per_page: (PAGE_SIZE / ROW_BYTES).max(1),
             input_rows: 0,
             buffer: Vec::new(),
-            current: BinaryHeap::new(),
+            slab: Slab::default(),
+            current: Vec::new(),
             pending: Vec::new(),
             last_out: None,
             open_run: Vec::new(),
@@ -127,26 +212,42 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         self.runs.len() + usize::from(!self.open_run.is_empty())
     }
 
-    fn keyed(&self, row: &Row) -> Keyed {
-        Keyed { key: row.project(&self.key_cols), row: *row }
+    #[inline]
+    fn key0(&self, row: &Row) -> i64 {
+        row.get(self.key_cols[0])
+    }
+
+    /// Sort `rows` by the full sort order, through light `(key0, index)`
+    /// pairs so the sort moves 16-byte elements instead of 72-byte rows.
+    fn sort_rows(rows: &mut Vec<Row>, key_cols: &[usize]) {
+        let mut order: Vec<Handle> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Handle { key0: r.get(key_cols[0]), slot: i as u32 })
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.key0.cmp(&b.key0).then_with(|| {
+                keyed_cmp(&rows[a.slot as usize], &rows[b.slot as usize], key_cols)
+            })
+        });
+        *rows = order.iter().map(|h| rows[h.slot as usize]).collect();
     }
 
     /// Accept one input row.
     pub fn push(&mut self, row: &Row) {
         self.input_rows += 1;
-        let item = self.keyed(row);
         // Heap / buffer maintenance costs ~log2(M) comparisons per row.
         self.ctx
             .session
             .charge_compares((usize::BITS - self.memory_rows.leading_zeros()) as u64);
         match self.mode {
             SpillMode::Abrupt => {
-                self.buffer.push(item);
+                self.buffer.push(*row);
                 if self.buffer.len() >= self.memory_rows {
                     self.spill_buffer_as_run();
                 }
             }
-            SpillMode::Graceful => self.push_replacement_selection(item),
+            SpillMode::Graceful => self.push_replacement_selection(*row),
         }
     }
 
@@ -158,20 +259,47 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         self.spilled = true;
         let n = self.buffer.len() as u64;
         self.ctx.session.charge_compares(n * (64 - (n - 1).leading_zeros()) as u64);
-        self.buffer.sort_unstable();
-        let rows: Vec<Row> = self.buffer.drain(..).map(|k| k.row).collect();
+        Self::sort_rows(&mut self.buffer, &self.key_cols);
+        let rows = std::mem::take(&mut self.buffer);
         self.write_run_pages(rows.len());
         self.runs.push(SortedRun { disk_rows: rows.len(), rows });
         self.ctx.note_spill();
     }
 
-    fn push_replacement_selection(&mut self, item: Keyed) {
+    /// `a < b` in the full sort order, for rows behind slab handles.
+    fn handle_less<'s>(
+        slab: &'s Slab,
+        key_cols: &'s [usize],
+    ) -> impl FnMut(Handle, Handle) -> bool + 's {
+        move |a, b| match a.key0.cmp(&b.key0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                keyed_cmp(slab.get(a.slot), slab.get(b.slot), key_cols)
+                    == std::cmp::Ordering::Less
+            }
+        }
+    }
+
+    fn row_less(&self, a: &Row, b: &Row) -> bool {
+        keyed_cmp(a, b, &self.key_cols) == std::cmp::Ordering::Less
+    }
+
+    /// Insert `row` into the current run's heap (slab + handle in one
+    /// step).
+    fn push_current(&mut self, row: Row) {
+        let handle = Handle { key0: self.key0(&row), slot: self.slab.insert(row) };
+        let mut less = Self::handle_less(&self.slab, &self.key_cols);
+        heap_push(&mut self.current, handle, &mut less);
+    }
+
+    fn push_replacement_selection(&mut self, row: Row) {
         if self.current.len() + self.pending.len() < self.memory_rows {
             // Memory not yet full: rows can always enter the current run's
             // heap unless they sort below the run's last output.
             match &self.last_out {
-                Some(last) if item < *last => self.pending.push(item),
-                _ => self.current.push(Reverse(item)),
+                Some(last) if self.row_less(&row, last) => self.pending.push(row),
+                _ => self.push_current(row),
             }
             return;
         }
@@ -179,24 +307,32 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         // the newcomer.
         self.spilled = true;
         self.ctx.note_spill();
-        if let Some(Reverse(min)) = self.current.pop() {
+        let popped = {
+            let mut less = Self::handle_less(&self.slab, &self.key_cols);
+            heap_pop(&mut self.current, &mut less)
+        };
+        if let Some(handle) = popped {
+            let min = self.slab.remove(handle.slot);
             self.emit_to_open_run(&min);
             self.last_out = Some(min);
         } else {
             // Current heap empty: close this run and promote the pending
             // rows to a fresh run.
             self.close_open_run();
-            self.current = std::mem::take(&mut self.pending).into_iter().map(Reverse).collect();
+            let pending = std::mem::take(&mut self.pending);
+            for r in pending {
+                self.push_current(r);
+            }
             self.last_out = None;
         }
         match &self.last_out {
-            Some(last) if item < *last => self.pending.push(item),
-            _ => self.current.push(Reverse(item)),
+            Some(last) if self.row_less(&row, last) => self.pending.push(row),
+            _ => self.push_current(row),
         }
     }
 
-    fn emit_to_open_run(&mut self, item: &Keyed) {
-        self.open_run.push(item.row);
+    fn emit_to_open_run(&mut self, row: &Row) {
+        self.open_run.push(*row);
         if self.open_run.len().is_multiple_of(self.rows_per_page) {
             self.charge_run_write(1);
         }
@@ -238,12 +374,15 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
                     // Everything fit: a single in-memory sort, zero I/O.
                     let n = self.buffer.len() as u64;
                     if n > 1 {
-                        self.ctx.session.charge_compares(n * (64 - (n - 1).leading_zeros()) as u64);
+                        self.ctx
+                            .session
+                            .charge_compares(n * (64 - (n - 1).leading_zeros()) as u64);
                     }
-                    self.buffer.sort_unstable();
-                    for k in &self.buffer {
+                    let mut buffer = std::mem::take(&mut self.buffer);
+                    Self::sort_rows(&mut buffer, &self.key_cols);
+                    for row in &buffer {
                         self.ctx.session.charge_rows(1);
-                        sink(&k.row);
+                        sink(row);
                     }
                     return n;
                 }
@@ -265,8 +404,15 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
     /// run; the pending rows are a final short run.  Neither is written.
     fn close_graceful_tails(&mut self) {
         let mut tail: Vec<Row> = Vec::with_capacity(self.current.len());
-        while let Some(Reverse(k)) = self.current.pop() {
-            tail.push(k.row);
+        loop {
+            let popped = {
+                let mut less = Self::handle_less(&self.slab, &self.key_cols);
+                heap_pop(&mut self.current, &mut less)
+            };
+            match popped {
+                Some(handle) => tail.push(self.slab.remove(handle.slot)),
+                None => break,
+            }
         }
         let disk_rows = self.open_run.len();
         if disk_rows > 0 && !disk_rows.is_multiple_of(self.rows_per_page) {
@@ -279,10 +425,12 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         }
         if !self.pending.is_empty() {
             let n = self.pending.len() as u64;
-            self.ctx.session.charge_compares(n * (64 - (n - 1).leading_zeros()).max(1) as u64);
-            self.pending.sort_unstable();
-            let rows: Vec<Row> = std::mem::take(&mut self.pending).into_iter().map(|k| k.row).collect();
-            self.runs.push(SortedRun { disk_rows: 0, rows });
+            self.ctx
+                .session
+                .charge_compares(n * (64 - (n - 1).leading_zeros()).max(1) as u64);
+            let mut pending = std::mem::take(&mut self.pending);
+            Self::sort_rows(&mut pending, &self.key_cols);
+            self.runs.push(SortedRun { disk_rows: 0, rows: pending });
         }
     }
 
@@ -315,6 +463,10 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
 
     /// K-way merge of sorted runs; charges the reads for each run's disk
     /// prefix and `log2(k)` comparisons per row.
+    ///
+    /// Heap elements pack `(key0, run, pos)`; ties fall back to the full
+    /// sort order, then run index, then position — the same total order the
+    /// fat-element merge used.
     fn merge_group(&self, runs: Vec<SortedRun>, sink: &mut dyn FnMut(&Row)) {
         let session: &Session = self.ctx.session;
         for run in &runs {
@@ -327,24 +479,52 @@ impl<'a, 'b> ExternalSorter<'a, 'b> {
         }
         let k = runs.len().max(2);
         let log_k = (usize::BITS - (k - 1).leading_zeros()) as u64;
-        let mut heads: BinaryHeap<Reverse<(Keyed, usize, usize)>> = BinaryHeap::new();
+        // (run, pos) packed into Handle.slot's 32 bits would overflow for
+        // large runs, so the merge keeps its own element type.
+        #[derive(Clone, Copy)]
+        struct Head {
+            key0: i64,
+            run: u32,
+            pos: u32,
+        }
+        let key_cols = &self.key_cols;
+        let row_at = |h: Head| &runs[h.run as usize].rows[h.pos as usize];
+        let mut less = |a: Head, b: Head| {
+            a.key0
+                .cmp(&b.key0)
+                .then_with(|| keyed_cmp(row_at(a), row_at(b), key_cols))
+                .then_with(|| a.run.cmp(&b.run))
+                .then_with(|| a.pos.cmp(&b.pos))
+                == std::cmp::Ordering::Less
+        };
+        let mut heads: Vec<Head> = Vec::with_capacity(runs.len());
         for (i, run) in runs.iter().enumerate() {
             if let Some(row) = run.rows.first() {
-                heads.push(Reverse((self.keyed(row), i, 0)));
+                heap_push(&mut heads, Head { key0: self.key0(row), run: i as u32, pos: 0 }, &mut less);
             }
         }
-        while let Some(Reverse((item, run_idx, pos))) = heads.pop() {
+        while let Some(&head) = heads.first() {
             session.charge_compares(log_k);
             session.charge_rows(1);
-            sink(&item.row);
-            let next = pos + 1;
-            if let Some(row) = runs[run_idx].rows.get(next) {
-                heads.push(Reverse((self.keyed(row), run_idx, next)));
+            let row = *row_at(head);
+            sink(&row);
+            let next = head.pos as usize + 1;
+            // Replace the root with the run's next row (or shrink), then
+            // sift down — one sift instead of a pop + push.
+            if let Some(next_row) = runs[head.run as usize].rows.get(next) {
+                heads[0] = Head { key0: self.key0(next_row), run: head.run, pos: next as u32 };
+            } else {
+                let last = heads.len() - 1;
+                heads.swap(0, last);
+                heads.pop();
+                if heads.is_empty() {
+                    break;
+                }
             }
+            sift_down(&mut heads, 0, &mut less);
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -405,6 +585,25 @@ mod tests {
         let (out, _, _) = sort_all(&rows, SpillMode::Graceful, 1 << 20);
         // Sorted by key, then by the remaining column.
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn multi_column_keys_sort_lexicographically() {
+        let rows: Vec<Row> =
+            (0..200).map(|i| Row::from_slice(&[i % 4, (i * 13) % 17, i])).collect();
+        for mode in [SpillMode::Abrupt, SpillMode::Graceful] {
+            let (db, _) = demo_db(4);
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 2048);
+            let mut sorter = ExternalSorter::new(&ctx, vec![0, 1], mode, 2048);
+            for r in &rows {
+                sorter.push(r);
+            }
+            let mut out: Vec<Vec<i64>> = Vec::new();
+            sorter.finish(&mut |r| out.push(vec![r.get(0), r.get(1), r.get(2)]));
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "{mode:?}");
+            assert_eq!(out.len(), rows.len());
+        }
     }
 
     #[test]

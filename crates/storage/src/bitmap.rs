@@ -54,12 +54,34 @@ impl RidBitmap {
 
     /// Build from rids using their packed `u64` encoding (keeps `(page,
     /// slot)` order).  Rids need not be sorted or unique.
+    ///
+    /// Bulk construction sorts the packed positions once and appends
+    /// chunks in order: inserting scattered rids directly into the sorted
+    /// chunk vector (as [`RidBitmap::set`] does) would shift the directory
+    /// on every new chunk — quadratic in chunk count, and rid lists
+    /// arriving in key order touch pages in effectively random order.  The
+    /// resulting bitmap is identical either way; this is a real-time
+    /// optimization only (bitmap work is charged separately, via
+    /// [`crate::SimClock::charge_hashes`], by the operators that use it).
     pub fn from_rids(rids: impl IntoIterator<Item = Rid>) -> Self {
-        let mut bm = Self::new();
-        for rid in rids {
-            bm.set(rid.to_u64());
+        let mut positions: Vec<u64> = rids.into_iter().map(|r| r.to_u64()).collect();
+        positions.sort_unstable();
+        let mut chunks: Vec<Chunk> = Vec::new();
+        for pos in positions {
+            let base = pos / CHUNK_BITS as u64;
+            let offset = (pos % CHUNK_BITS as u64) as usize;
+            match chunks.last_mut() {
+                Some(chunk) if chunk.base == base => {
+                    chunk.words[offset / 64] |= 1u64 << (offset % 64);
+                }
+                _ => {
+                    let mut chunk = Chunk::new(base);
+                    chunk.words[offset / 64] |= 1u64 << (offset % 64);
+                    chunks.push(chunk);
+                }
+            }
         }
-        bm
+        RidBitmap { chunks }
     }
 
     fn chunk_index(&self, base: u64) -> Result<usize, usize> {

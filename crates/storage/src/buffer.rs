@@ -10,7 +10,7 @@
 //! intrusive doubly-linked list over a slot arena) and Clock (second
 //! chance).
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 
 /// Identifies a storage "file": one heap or one B+-tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,7 +67,7 @@ struct Slot {
 pub struct BufferPool {
     capacity: usize,
     policy: EvictionPolicy,
-    map: HashMap<PageId, usize>,
+    map: FxHashMap<PageId, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
     head: usize, // most-recently-used (LRU) / unused by Clock
@@ -84,7 +84,10 @@ impl BufferPool {
         BufferPool {
             capacity: capacity_pages,
             policy,
-            map: HashMap::with_capacity(capacity_pages.min(1 << 20)),
+            map: FxHashMap::with_capacity_and_hasher(
+                capacity_pages.min(1 << 20),
+                Default::default(),
+            ),
             slots: Vec::with_capacity(capacity_pages.min(1 << 20)),
             free: Vec::new(),
             head: NIL,
@@ -126,7 +129,11 @@ impl BufferPool {
         if let Some(&slot) = self.map.get(&page) {
             self.hits += 1;
             self.slots[slot].referenced = true;
-            if self.policy == EvictionPolicy::Lru {
+            // A hit on the most-recently-used slot would splice it back to
+            // where it already is; skipping the splice leaves the LRU list
+            // identical.  Fetch loops hit the same page for every row on
+            // it, so this is the common case by far.
+            if self.policy == EvictionPolicy::Lru && self.head != slot {
                 self.unlink(slot);
                 self.push_front(slot);
             }
@@ -142,6 +149,23 @@ impl BufferPool {
             self.push_front(slot);
         }
         false
+    }
+
+    /// Empty the pool and zero its counters, keeping capacity and policy —
+    /// the state of a freshly constructed pool, minus the allocations.
+    /// Sweep workers reuse one pool per thread and reset it between map
+    /// cells, preserving the cold-pool-per-measurement semantics without
+    /// rebuilding the slot arena.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.hand = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
     }
 
     /// Drop every page of `file` from the pool (e.g. a temp file deleted
@@ -335,6 +359,24 @@ mod tests {
             pool.access(PageId::new(FileId(3), i));
         }
         assert_eq!(pool.resident(), 16);
+    }
+
+    #[test]
+    fn reset_pool_equals_new_pool() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock] {
+            let mut reused = BufferPool::new(4, policy);
+            for i in 0..100u32 {
+                reused.access(pid(i % 13));
+            }
+            reused.reset();
+            assert_eq!(reused.resident(), 0);
+            assert_eq!(reused.counters(), (0, 0, 0));
+            let mut fresh = BufferPool::new(4, policy);
+            for i in 0..100u32 {
+                assert_eq!(reused.access(pid(i % 7)), fresh.access(pid(i % 7)), "{policy:?} @ {i}");
+            }
+            assert_eq!(reused.counters(), fresh.counters(), "{policy:?}");
+        }
     }
 
     #[test]

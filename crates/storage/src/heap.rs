@@ -121,6 +121,21 @@ impl HeapFile {
         PageId::new(self.file, page_no)
     }
 
+    /// Borrow heap page `page_no` (serialization path: the workload cache
+    /// persists raw page images).
+    pub fn page(&self, page_no: u32) -> Option<&SlottedPage> {
+        self.pages.get(page_no as usize)
+    }
+
+    /// Reassemble a heap file from raw pages (inverse of persisting
+    /// [`HeapFile::page`] images).  The row count is recomputed from the
+    /// pages' live records, so a reloaded heap reports exactly what the
+    /// original did.
+    pub fn from_pages(file: FileId, schema: Schema, pages: Vec<SlottedPage>) -> Self {
+        let row_count = pages.iter().map(|p| p.live_records() as u64).sum();
+        HeapFile { file, schema, pages, row_count, encode_buf: Vec::new() }
+    }
+
     /// Fetch one row by rid, charging `session` one page access of `kind`.
     pub fn fetch(&self, rid: Rid, session: &Session, kind: AccessKind) -> Result<Row> {
         let page = self

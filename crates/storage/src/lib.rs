@@ -32,6 +32,7 @@
 pub mod bitmap;
 pub mod btree;
 pub mod buffer;
+pub mod fx;
 pub mod heap;
 pub mod page;
 pub mod schema;
@@ -42,6 +43,7 @@ pub mod table;
 pub use bitmap::RidBitmap;
 pub use btree::{BTree, Key};
 pub use buffer::{BufferPool, EvictionPolicy, FileId, PageId};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::{HeapFile, Rid};
 pub use page::{SlottedPage, PAGE_SIZE};
 pub use schema::{ColumnType, Row, Schema, MAX_COLUMNS};

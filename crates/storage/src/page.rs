@@ -176,6 +176,18 @@ impl SlottedPage {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[u8])> + '_ {
         (0..self.n_slots()).filter_map(move |s| self.get(s).map(|r| (s, r)))
     }
+
+    /// The raw page image (serialization: the workload cache persists heap
+    /// pages byte-for-byte, so a reloaded heap is bit-identical).
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    /// Reconstruct a page from a raw image previously obtained via
+    /// [`SlottedPage::as_bytes`].
+    pub fn from_bytes(bytes: &[u8; PAGE_SIZE]) -> Self {
+        SlottedPage { buf: Box::new(*bytes) }
+    }
 }
 
 impl Default for SlottedPage {

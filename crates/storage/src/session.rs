@@ -38,6 +38,18 @@ impl Session {
         &self.model
     }
 
+    /// Reset the session to its as-constructed state: clock at zero, all
+    /// counters cleared, buffer pool cold (same capacity and policy).
+    ///
+    /// This is the warm-path sweep contract: a reset session measures a
+    /// plan *identically* to a brand-new session — the map builder's
+    /// per-thread arenas rely on it, and `core`'s warm-vs-cold tests assert
+    /// it cell by cell.
+    pub fn reset(&self) {
+        self.clock.reset();
+        self.pool.borrow_mut().reset();
+    }
+
     /// The clock (for operators charging modelled CPU work directly).
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -152,6 +164,33 @@ mod tests {
         s.read_page(pid(1), AccessKind::Random);
         assert_eq!(s.stats().buffer_hits, 1);
         assert_eq!(s.stats().page_writes, 1);
+    }
+
+    #[test]
+    fn reset_restores_fresh_session_behaviour() {
+        let warm = Session::with_pool_pages(4);
+        // Dirty the session: misses, hits, evictions, CPU work.
+        for i in 0..16 {
+            warm.read_page(pid(i), AccessKind::Random);
+        }
+        warm.charge_rows(100);
+        warm.reset();
+        assert_eq!(warm.elapsed(), 0.0);
+        assert_eq!(warm.stats(), IoStats::default());
+        assert_eq!(warm.pool_counters(), (0, 0, 0));
+        assert_eq!(warm.pool_capacity(), 4);
+        // Replay a workload on the reset session and on a fresh one: the
+        // measurements must be identical.
+        let fresh = Session::with_pool_pages(4);
+        for s in [&warm, &fresh] {
+            for i in [0u32, 1, 0, 2, 3, 4, 0, 1] {
+                s.read_page(pid(i), AccessKind::Random);
+            }
+            s.charge_compares(7);
+        }
+        assert_eq!(warm.stats(), fresh.stats());
+        assert_eq!(warm.elapsed(), fresh.elapsed());
+        assert_eq!(warm.pool_counters(), fresh.pool_counters());
     }
 
     #[test]

@@ -260,6 +260,21 @@ impl SimClock {
         self.cpu_hashes.set(self.cpu_hashes.get() + n);
     }
 
+    /// Reset the clock to time zero with all counters cleared — exactly the
+    /// state of a freshly constructed clock.  Sweep workers reuse one clock
+    /// per thread and reset it between map cells.
+    pub fn reset(&self) {
+        self.seconds.set(0.0);
+        self.seq_reads.set(0);
+        self.single_reads.set(0);
+        self.random_reads.set(0);
+        self.page_writes.set(0);
+        self.buffer_hits.set(0);
+        self.cpu_rows.set(0);
+        self.cpu_compares.set(0);
+        self.cpu_hashes.set(0);
+    }
+
     /// Add another execution's counters without advancing time.  Parallel
     /// operators use this: total work is the sum over workers, while
     /// elapsed time is the critical path (charged separately via

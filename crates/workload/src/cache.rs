@@ -1,0 +1,479 @@
+//! The serialized workload cache.
+//!
+//! Building the default workload (2^20 rows, five indexes, two
+//! calibrators) costs seconds of generation, sorting and bulk-loading —
+//! and before this cache existed it was paid again by *every* binary and
+//! test invocation that needed the table.  The cache makes that a one-time
+//! cost per configuration: [`store`] serializes a built [`Workload`] to a
+//! content-addressed file, [`load`] reconstructs it bit-identically.
+//!
+//! ## Layout and addressing
+//!
+//! Files live under `target/workload-cache/` at the workspace root (see
+//! [`cache_dir`]) and are named `wl-<rows>-<hash>.bin`, where `<hash>` is a
+//! 64-bit FNV-1a over the full [`WorkloadConfig`] and the format version —
+//! any config or format change addresses a different file.  The stored
+//! config is compared on load, so even a hash collision cannot serve the
+//! wrong workload.
+//!
+//! ## Format (version 1, little-endian)
+//!
+//! ```text
+//! magic "RMWLC\x01\0\0" · config (rows, seed, dist tag+param)
+//! heap: file id · page count · raw 8 KiB page images
+//! 5 indexes: name · file id · key columns · sorted (key, rid) entries
+//! calibrators a, b: sorted column values
+//! trailing FNV-1a checksum of everything above
+//! ```
+//!
+//! Heap pages round-trip byte-for-byte; indexes are re-bulk-loaded from
+//! their sorted entries with the same fill factor the builder uses, which
+//! reproduces the exact node layout (bulk loading is deterministic in its
+//! input).  `tests/cache_determinism.rs` asserts the equivalence map-for-map.
+//!
+//! ## Writes are atomic
+//!
+//! [`store`] writes a temp file and renames it into place, so concurrent
+//! test binaries never observe a half-written cache; a corrupt or
+//! truncated file fails validation and is rebuilt.
+//!
+//! ## Environment overrides
+//!
+//! * `ROBUSTMAP_WORKLOAD_CACHE=<dir>` — use `<dir>` instead of the default;
+//! * `ROBUSTMAP_WORKLOAD_CACHE=off` (or `0`) — disable the cache entirely
+//!   ([`load`] always misses, [`store`] is a no-op);
+//! * deleting the directory is always safe: `rm -rf target/workload-cache`.
+
+use std::path::{Path, PathBuf};
+
+use robustmap_storage::btree::Entry;
+use robustmap_storage::page::PAGE_SIZE;
+use robustmap_storage::{BTree, Database, FileId, HeapFile, Key, Rid, SlottedPage};
+
+use crate::calib::Calibrator;
+use crate::gen::{
+    lineitem_schema, PredicateDistribution, Workload, WorkloadConfig, WorkloadIndexes,
+    INDEX_DEFS, INDEX_FILL,
+};
+
+const MAGIC: &[u8; 8] = b"RMWLC\x01\0\0";
+/// Bump on any change that alters what a given [`WorkloadConfig`] produces
+/// — not just file-format changes but *generator semantics* too: the
+/// distributions in `dist.rs`, row assembly or schema in `gen.rs`, heap
+/// page packing, B+-tree bulk-load layout, [`INDEX_FILL`], calibrator
+/// behaviour.  The version is part of the content hash, so a bump makes
+/// every old file miss and rebuild; forgetting one silently serves
+/// pre-change workloads to every binary and test.
+const VERSION: u64 = 1;
+
+/// The cache directory: `$ROBUSTMAP_WORKLOAD_CACHE` if set (its value
+/// `off`/`0` disables caching), else `<workspace>/target/workload-cache`.
+pub fn cache_dir() -> Option<PathBuf> {
+    match std::env::var("ROBUSTMAP_WORKLOAD_CACHE") {
+        Ok(v) if v == "off" || v == "0" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => {
+            let workspace = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/workload has a workspace root");
+            Some(workspace.join("target").join("workload-cache"))
+        }
+    }
+}
+
+/// 64-bit FNV-1a (byte-wise; used for the small config hash).
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a folded over 8-byte words — the payload checksum.  The cache file
+/// is hundreds of megabytes at full scale; a byte-wise pass would cost a
+/// noticeable fraction of the build time it is meant to save.
+fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_SEED;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        h ^= u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    fnv1a(h, chunks.remainder())
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn dist_code(d: PredicateDistribution) -> (u64, u64) {
+    match d {
+        PredicateDistribution::Permutation => (0, 0),
+        PredicateDistribution::Uniform => (1, 0),
+        PredicateDistribution::ZipfHundredths(h) => (2, h as u64),
+    }
+}
+
+/// The content hash a configuration is addressed by.
+pub fn config_hash(config: &WorkloadConfig) -> u64 {
+    let (tag, param) = dist_code(config.predicate_dist);
+    let mut h = FNV_SEED;
+    for word in [VERSION, config.rows, config.seed, tag, param] {
+        h = fnv1a(h, &word.to_le_bytes());
+    }
+    h
+}
+
+/// The file a configuration would be cached at, or `None` when caching is
+/// disabled.
+pub fn cache_path(config: &WorkloadConfig) -> Option<PathBuf> {
+    cache_dir().map(|d| d.join(format!("wl-{}-{:016x}.bin", config.rows, config_hash(config))))
+}
+
+// ---------------------------------------------------------------- writing
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Serialize `w` into the cache.  No-op when caching is disabled; I/O
+/// errors are reported to stderr and otherwise ignored (the cache is an
+/// accelerator, not a correctness dependency).
+pub fn store(w: &Workload) {
+    let Some(path) = cache_path(&w.config) else { return };
+    let mut out = Writer::new();
+    out.bytes(MAGIC);
+    let (tag, param) = dist_code(w.config.predicate_dist);
+    out.u64(w.config.rows);
+    out.u64(w.config.seed);
+    out.u64(tag);
+    out.u64(param);
+
+    // Heap: raw page images.
+    let heap = &w.db.table(w.table).heap;
+    out.u64(heap.file_id().0 as u64);
+    out.u64(heap.page_count() as u64);
+    for p in 0..heap.page_count() {
+        out.bytes(heap.page(p).expect("page in range").as_bytes());
+    }
+
+    // Indexes: sorted entries, re-bulk-loaded on read.
+    out.u64(INDEX_DEFS.len() as u64);
+    for (slot, (name, cols)) in INDEX_DEFS.iter().enumerate() {
+        let def = w.db.index(index_id_at(w, slot));
+        debug_assert_eq!(&def.name, name);
+        debug_assert_eq!(def.key_columns, *cols);
+        out.u64(def.tree.file_id().0 as u64);
+        out.u64(def.tree.key_arity() as u64);
+        out.u64(def.tree.len());
+        for (key, rid) in def.tree.collect_all() {
+            for &v in key.values() {
+                out.i64(v);
+            }
+            out.u64(rid.to_u64());
+        }
+    }
+
+    // Calibrators.
+    for cal in [&w.cal_a, &w.cal_b] {
+        out.u64(cal.len());
+        for &v in cal.sorted_values() {
+            out.i64(v);
+        }
+    }
+
+    let checksum = checksum64(&out.buf);
+    out.u64(checksum);
+
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(path.parent().expect("cache file has a directory"))?;
+        // The temp name must be unique per *call*, not just per process:
+        // threads of one test binary can miss on the same config
+        // concurrently, and a shared temp path would interleave their
+        // writes before one rename installs the mixed-content file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+        std::fs::write(&tmp, &out.buf)?;
+        std::fs::rename(&tmp, &path)
+    };
+    if let Err(e) = write() {
+        eprintln!("workload cache: could not write {}: {e}", path.display());
+    }
+}
+
+fn index_id_at(w: &Workload, slot: usize) -> robustmap_storage::IndexId {
+    [w.indexes.a, w.indexes.b, w.indexes.c, w.indexes.ab, w.indexes.ba][slot]
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Deserialize the workload for `config`, or `None` on a miss (no file,
+/// caching disabled, or a file that fails validation).
+pub fn load(config: &WorkloadConfig) -> Option<Workload> {
+    let path = cache_path(config)?;
+    let data = std::fs::read(&path).ok()?;
+    parse(&data, config)
+}
+
+fn parse(data: &[u8], config: &WorkloadConfig) -> Option<Workload> {
+    // Trailing checksum first: catches truncation and corruption cheaply.
+    if data.len() < MAGIC.len() + 8 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    if checksum64(payload) != u64::from_le_bytes(tail.try_into().expect("8 bytes")) {
+        return None;
+    }
+    let mut r = Reader { buf: payload, at: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    let (tag, param) = dist_code(config.predicate_dist);
+    if [r.u64()?, r.u64()?, r.u64()?, r.u64()?]
+        != [config.rows, config.seed, tag, param]
+    {
+        return None;
+    }
+
+    // Heap.
+    let heap_file = FileId(u32::try_from(r.u64()?).ok()?);
+    let page_count = usize::try_from(r.u64()?).ok()?;
+    let mut pages = Vec::with_capacity(page_count);
+    for _ in 0..page_count {
+        let image: &[u8; PAGE_SIZE] = r.take(PAGE_SIZE)?.try_into().expect("page-sized");
+        pages.push(SlottedPage::from_bytes(image));
+    }
+    let heap = HeapFile::from_pages(heap_file, lineitem_schema(), pages);
+
+    // Indexes: parse entries, then bulk-load all five in parallel.
+    if r.u64()? != INDEX_DEFS.len() as u64 {
+        return None;
+    }
+    let mut parsed: Vec<(FileId, usize, Vec<Entry>)> = Vec::with_capacity(INDEX_DEFS.len());
+    for (_, cols) in INDEX_DEFS {
+        let file = FileId(u32::try_from(r.u64()?).ok()?);
+        let arity = usize::try_from(r.u64()?).ok()?;
+        if arity != cols.len() {
+            return None;
+        }
+        let len = usize::try_from(r.u64()?).ok()?;
+        let mut entries = Vec::with_capacity(len);
+        let mut vals = [0i64; robustmap_storage::btree::MAX_KEY_COLS];
+        for _ in 0..len {
+            for v in vals.iter_mut().take(arity) {
+                *v = r.i64()?;
+            }
+            entries.push((Key::new(&vals[..arity]), Rid::from_u64(r.u64()?)));
+        }
+        if !entries.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        parsed.push((file, arity, entries));
+    }
+    let mut trees: Vec<Option<BTree>> = (0..parsed.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (out, (file, arity, entries)) in trees.iter_mut().zip(&parsed) {
+            scope.spawn(move || {
+                *out = Some(BTree::bulk_load(*file, *arity, entries, INDEX_FILL));
+            });
+        }
+    });
+
+    // Calibrators.
+    let mut cals = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let len = usize::try_from(r.u64()?).ok()?;
+        let mut vals = Vec::with_capacity(len);
+        for _ in 0..len {
+            vals.push(r.i64()?);
+        }
+        if !vals.windows(2).all(|w| w[0] <= w[1]) {
+            return None;
+        }
+        cals.push(Calibrator::from_sorted(vals));
+    }
+    let cal_b = cals.pop().expect("two calibrators");
+    let cal_a = cals.pop().expect("two calibrators");
+    if r.at != r.buf.len() {
+        return None; // trailing garbage
+    }
+
+    // Reassemble the catalog in creation order.
+    let mut db = Database::new();
+    let table = db.attach_table("lineitem", heap);
+    let mut ids = Vec::with_capacity(INDEX_DEFS.len());
+    for ((name, cols), tree) in INDEX_DEFS.iter().zip(trees) {
+        ids.push(db.attach_index(name, table, cols, tree.expect("worker finished")).ok()?);
+    }
+    Some(Workload {
+        db,
+        table,
+        indexes: WorkloadIndexes { a: ids[0], b: ids[1], c: ids[2], ab: ids[3], ba: ids[4] },
+        cal_a,
+        cal_b,
+        config: config.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TableBuilder;
+
+    /// `ROBUSTMAP_WORKLOAD_CACHE` is process-global; tests that set it
+    /// must not interleave.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("robustmap-cache-test-{tag}-{}", std::process::id()))
+    }
+
+    /// Round-trip through serialize + parse (no filesystem, no env vars —
+    /// those stay test-friendly and race-free).
+    #[test]
+    fn roundtrip_preserves_workload_exactly() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let config = WorkloadConfig::small();
+        let built = TableBuilder::build(config.clone());
+
+        // Serialize via the same code path as `store`, in memory.
+        let dir = unique_dir("roundtrip");
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", &dir);
+        store(&built);
+        let loaded = load(&config).expect("cache hit after store");
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(loaded.rows(), built.rows());
+        assert_eq!(loaded.heap_pages(), built.heap_pages());
+        assert_eq!(loaded.config, built.config);
+        // Heap pages byte-identical.
+        let (h1, h2) = (&built.db.table(built.table).heap, &loaded.db.table(loaded.table).heap);
+        for p in 0..h1.page_count() {
+            assert_eq!(
+                h1.page(p).unwrap().as_bytes().as_slice(),
+                h2.page(p).unwrap().as_bytes().as_slice(),
+                "heap page {p}"
+            );
+        }
+        // Trees entry- and shape-identical.
+        for slot in 0..INDEX_DEFS.len() {
+            let t1 = &built.db.index(index_id_at(&built, slot)).tree;
+            let t2 = &loaded.db.index(index_id_at(&loaded, slot)).tree;
+            assert_eq!(t1.collect_all(), t2.collect_all(), "index {slot} entries");
+            assert_eq!(t1.height(), t2.height(), "index {slot} height");
+            assert_eq!(t1.node_count(), t2.node_count(), "index {slot} nodes");
+            t2.check_invariants().unwrap();
+        }
+        // Calibrators agree on every power-of-two selectivity.
+        for exp in 0..=12 {
+            let sel = 0.5f64.powi(exp);
+            assert_eq!(built.cal_a.threshold_with_count(sel), loaded.cal_a.threshold_with_count(sel));
+            assert_eq!(built.cal_b.threshold_with_count(sel), loaded.cal_b.threshold_with_count(sel));
+        }
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_files_miss() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = unique_dir("corrupt");
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", &dir);
+        let config = WorkloadConfig::small();
+        let built = TableBuilder::build(config.clone());
+        store(&built);
+        let path = cache_path(&config).unwrap();
+        assert!(path.exists());
+
+        // A different config misses even with a file present.
+        let mut other = config.clone();
+        other.seed ^= 1;
+        assert!(load(&other).is_none());
+
+        // Flip a payload byte: checksum rejects.
+        let mut data = std::fs::read(&path).unwrap();
+        data[MAGIC.len() + 3] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        assert!(load(&config).is_none());
+
+        // Truncate: rejected.
+        std::fs::write(&path, &data[..data.len() / 2]).unwrap();
+        assert!(load(&config).is_none());
+
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", "off");
+        assert!(cache_dir().is_none());
+        let config = WorkloadConfig::small();
+        assert!(cache_path(&config).is_none());
+        let built = TableBuilder::build(config.clone());
+        store(&built);
+        assert!(load(&config).is_none());
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+    }
+
+    #[test]
+    fn config_hash_separates_configs() {
+        let base = WorkloadConfig::small();
+        let mut seed = base.clone();
+        seed.seed += 1;
+        let mut rows = base.clone();
+        rows.rows *= 2;
+        let zipf = WorkloadConfig {
+            predicate_dist: PredicateDistribution::ZipfHundredths(110),
+            ..base.clone()
+        };
+        let hashes =
+            [&base, &seed, &rows, &zipf].map(config_hash);
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{i} vs {j}");
+            }
+        }
+    }
+}

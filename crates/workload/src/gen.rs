@@ -16,7 +16,8 @@
 //! no-index table scan.  Five indexes cover all thirteen plans measured
 //! across the paper's three systems: `a`, `b`, `c`, `(a,b)`, `(b,a)`.
 
-use robustmap_storage::{ColumnType, Database, IndexId, Row, Schema, TableId};
+use robustmap_storage::btree::Entry;
+use robustmap_storage::{BTree, ColumnType, Database, IndexId, Key, Rid, Row, Schema, TableId};
 
 use crate::calib::Calibrator;
 use crate::dist::{Distribution, Permutation, Uniform, Zipf};
@@ -128,23 +129,48 @@ impl std::fmt::Debug for Workload {
     }
 }
 
+/// The fill factor freshly built indexes are bulk-loaded with (the
+/// customary default).
+pub const INDEX_FILL: f64 = 0.9;
+
+/// The schema of the lineitem-like table (shared by the generator and the
+/// workload cache's load path).
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        ("a", ColumnType::Int),
+        ("b", ColumnType::Int),
+        ("c", ColumnType::Int),
+        ("orderkey", ColumnType::Int),
+        ("payload", ColumnType::Money),
+    ])
+}
+
+/// The five index definitions, in catalog order: `(name, key columns)`.
+pub const INDEX_DEFS: [(&str, &[usize]); 5] = [
+    ("idx_a", &[COL_A]),
+    ("idx_b", &[COL_B]),
+    ("idx_c", &[COL_C]),
+    ("idx_ab", &[COL_A, COL_B]),
+    ("idx_ba", &[COL_B, COL_A]),
+];
+
 /// Builds [`Workload`]s from [`WorkloadConfig`]s.
 pub struct TableBuilder;
 
 impl TableBuilder {
     /// Generate the table, build all five indexes, and calibrate.
+    ///
+    /// Always generates from scratch.  The five index bulk-loads and the
+    /// two calibrator sorts are independent of each other, so they run on
+    /// worker threads; the result is bit-identical to a sequential build
+    /// (each sorts its own entry list with the same algorithm).  Callers
+    /// that rebuild the same configuration repeatedly should prefer
+    /// [`TableBuilder::build_cached`].
     pub fn build(config: WorkloadConfig) -> Workload {
         let n = config.rows;
         assert!(n >= 4, "workload too small");
         let mut db = Database::new();
-        let schema = Schema::new(vec![
-            ("a", ColumnType::Int),
-            ("b", ColumnType::Int),
-            ("c", ColumnType::Int),
-            ("orderkey", ColumnType::Int),
-            ("payload", ColumnType::Money),
-        ]);
-        let table = db.create_table("lineitem", schema);
+        let table = db.create_table("lineitem", lineitem_schema());
 
         let mut dist_a = make_dist(&config, 1);
         let mut dist_b = make_dist(&config, 2);
@@ -153,32 +179,85 @@ impl TableBuilder {
 
         let mut vals_a = Vec::with_capacity(n as usize);
         let mut vals_b = Vec::with_capacity(n as usize);
+        let mut vals_c = Vec::with_capacity(n as usize);
+        let mut rids: Vec<Rid> = Vec::with_capacity(n as usize);
         for i in 0..n {
             let a = dist_a.value(i);
             let b = dist_b.value(i);
             let c = dist_c.value(i);
             vals_a.push(a);
             vals_b.push(b);
+            vals_c.push(c);
             let row = Row::from_slice(&[a, b, c, i as i64, payload.value(i)]);
-            db.insert_row(table, &row).expect("generated row must fit schema");
+            rids.push(db.insert_row(table, &row).expect("generated row must fit schema"));
         }
 
-        let indexes = WorkloadIndexes {
-            a: db.create_index("idx_a", table, &[COL_A]).expect("valid columns"),
-            b: db.create_index("idx_b", table, &[COL_B]).expect("valid columns"),
-            c: db.create_index("idx_c", table, &[COL_C]).expect("valid columns"),
-            ab: db.create_index("idx_ab", table, &[COL_A, COL_B]).expect("valid columns"),
-            ba: db.create_index("idx_ba", table, &[COL_B, COL_A]).expect("valid columns"),
-        };
+        // File ids in the order `create_index` would have allocated them,
+        // so a parallel build is catalog-identical to a sequential one.
+        let files: Vec<_> = INDEX_DEFS.iter().map(|_| db.alloc_file()).collect();
+        // Key extractors per index, in INDEX_DEFS order.
+        let key_of: [&(dyn Fn(usize) -> Key + Sync); 5] = [
+            &|i| Key::single(vals_a[i]),
+            &|i| Key::single(vals_b[i]),
+            &|i| Key::single(vals_c[i]),
+            &|i| Key::pair(vals_a[i], vals_b[i]),
+            &|i| Key::pair(vals_b[i], vals_a[i]),
+        ];
+        let mut trees: Vec<Option<BTree>> = (0..INDEX_DEFS.len()).map(|_| None).collect();
+        let mut cal_a = None;
+        let mut cal_b = None;
+        std::thread::scope(|scope| {
+            for (slot, out) in trees.iter_mut().enumerate() {
+                let key_of = key_of[slot];
+                let file = files[slot];
+                let arity = INDEX_DEFS[slot].1.len();
+                let rids = &rids;
+                scope.spawn(move || {
+                    let mut entries: Vec<Entry> =
+                        rids.iter().enumerate().map(|(i, &rid)| (key_of(i), rid)).collect();
+                    entries.sort_unstable();
+                    *out = Some(BTree::bulk_load(file, arity, &entries, INDEX_FILL));
+                });
+            }
+            let (va, vb) = (&vals_a, &vals_b);
+            let ca = &mut cal_a;
+            let cb = &mut cal_b;
+            scope.spawn(move || *ca = Some(Calibrator::new(va.clone())));
+            scope.spawn(move || *cb = Some(Calibrator::new(vb.clone())));
+        });
+
+        let mut ids = Vec::with_capacity(INDEX_DEFS.len());
+        for ((name, cols), tree) in INDEX_DEFS.iter().zip(trees) {
+            ids.push(
+                db.attach_index(name, table, cols, tree.expect("worker finished"))
+                    .expect("valid columns"),
+            );
+        }
+        let indexes =
+            WorkloadIndexes { a: ids[0], b: ids[1], c: ids[2], ab: ids[3], ba: ids[4] };
 
         Workload {
             db,
             table,
             indexes,
-            cal_a: Calibrator::new(vals_a),
-            cal_b: Calibrator::new(vals_b),
+            cal_a: cal_a.expect("worker finished"),
+            cal_b: cal_b.expect("worker finished"),
             config,
         }
+    }
+
+    /// [`TableBuilder::build`] behind the content-addressed workload cache:
+    /// a hit deserializes the workload from `target/workload-cache/`, a
+    /// miss builds fresh and stores the result for every later binary and
+    /// test invocation.  See [`crate::cache`] for the location and
+    /// environment overrides.
+    pub fn build_cached(config: WorkloadConfig) -> Workload {
+        if let Some(w) = crate::cache::load(&config) {
+            return w;
+        }
+        let w = Self::build(config);
+        crate::cache::store(&w);
+        w
     }
 }
 

@@ -22,6 +22,7 @@
 //! paper's thirteen plans need (`a`, `b`, `c`, `(a,b)`, `(b,a)`), and the
 //! calibrators.
 
+pub mod cache;
 pub mod calib;
 pub mod dist;
 pub mod gen;
@@ -30,4 +31,6 @@ pub mod histogram;
 pub use calib::Calibrator;
 pub use histogram::EquiDepthHistogram;
 pub use dist::{Correlated, Distribution, Permutation, Uniform, Zipf};
-pub use gen::{TableBuilder, Workload, WorkloadConfig, COL_A, COL_B, COL_C, COL_ORDERKEY, COL_PAYLOAD};
+pub use gen::{
+    TableBuilder, Workload, WorkloadConfig, COL_A, COL_B, COL_C, COL_ORDERKEY, COL_PAYLOAD,
+};

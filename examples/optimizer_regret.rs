@@ -17,7 +17,7 @@ use robustmap::systems::{
 use robustmap::workload::{TableBuilder, WorkloadConfig};
 
 fn main() {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 18));
     let plans: Vec<TwoPredPlan> =
         SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
     let grid = Grid2D::pow2(12);

@@ -14,7 +14,7 @@ use robustmap::workload::{TableBuilder, WorkloadConfig};
 fn main() {
     // 2^18 rows keeps this example under a couple of seconds while showing
     // the same curve shapes as the paper's 60M-row table.
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 18));
     println!("workload: {} rows over {} heap pages\n", w.rows(), w.heap_pages());
 
     // The paper's Figure 1: table scan vs. traditional vs. improved index

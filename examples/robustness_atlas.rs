@@ -19,7 +19,7 @@ fn main() {
     let plain = std::env::args().any(|a| a == "--plain");
     let opts = AsciiOptions { ansi: !plain, cell_width: 2 };
 
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 18));
     let plans: Vec<TwoPredPlan> =
         SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
     println!(

@@ -24,7 +24,7 @@ use robustmap::storage::{BufferPool, Session};
 use robustmap::workload::{TableBuilder, WorkloadConfig, COL_A, COL_C};
 
 fn main() {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 18));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 18));
     let memory = 1 << 18; // 256 KiB of sort memory (~3.2k rows)
     let cfg = MeasureConfig::default();
 

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # CI-style verification: build, tests (unit + integration + property +
-# doc), clippy, and rustdoc — all with warnings denied.  Any warning or
-# failure exits non-zero.
+# doc), clippy, and rustdoc — all with warnings denied — plus a figure
+# smoke run executed twice (cold workload cache, then warm) so cache
+# regressions show up as timing regressions right here.  Any warning or
+# failure exits non-zero.  Each phase prints its wall time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run() {
     echo "== $*"
+    local t0 t1
+    t0=$(date +%s)
     "$@"
+    t1=$(date +%s)
+    echo "== done in $((t1 - t0))s: $*"
 }
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
@@ -19,10 +25,29 @@ run cargo test -q --release --workspace --doc
 run cargo clippy --release --workspace --all-targets -- -D warnings
 run cargo doc --no-deps --workspace
 
-echo "== smoke: regenerate Figure 1 at reduced scale"
-run cargo run --release -p robustmap-bench --bin figures -- \
+# The smoke uses a private cache directory so "cold" really is cold no
+# matter what earlier builds or tests populated.
+SMOKE_CACHE="target/workload-cache-verify"
+rm -rf "$SMOKE_CACHE" target/figures-verify
+
+echo "== smoke 1/2: regenerate Figure 1 at reduced scale, COLD workload cache"
+ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify fig1
 test -s target/figures-verify/fig1.csv
 test -s target/figures-verify/fig1.svg
+test -n "$(ls "$SMOKE_CACHE"/wl-*.bin 2>/dev/null)" || {
+    echo "cold run did not populate the workload cache" >&2
+    exit 1
+}
+cp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv
+
+echo "== smoke 2/2: same figure, WARM workload cache"
+ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
+    --rows 16384 --grid 8 --out target/figures-verify fig1
+cmp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv || {
+    echo "warm-cache artifacts differ from cold-cache artifacts" >&2
+    exit 1
+}
+rm -rf "$SMOKE_CACHE"
 
 echo "verify: all green"

@@ -1,0 +1,86 @@
+//! The workload cache's correctness contract: a cache-hit workload and a
+//! freshly generated one are indistinguishable — not just row-for-row,
+//! but *measurement*-for-measurement.  Robustness maps built from both
+//! must be identical cell-for-cell, because the cache round-trips heap
+//! pages byte-for-byte and re-bulk-loads indexes into the exact node
+//! layout the builder produced (see `crates/workload/src/cache.rs` and
+//! `docs/DESIGN.md`).
+
+use robustmap::core::{build_map1d, build_map2d, Grid1D, Grid2D, MeasureConfig};
+use robustmap::systems::{
+    single_predicate_plans, two_predicate_plans, SinglePredPlanSet, SystemId,
+};
+use robustmap::workload::cache;
+use robustmap::workload::gen::PredicateDistribution;
+use robustmap::workload::{TableBuilder, Workload, WorkloadConfig};
+
+/// A config no other test uses, so this test owns its cache file.
+fn private_config() -> WorkloadConfig {
+    WorkloadConfig {
+        rows: 1 << 12,
+        seed: 0xD15E_A5ED_CAFE,
+        predicate_dist: PredicateDistribution::Permutation,
+    }
+}
+
+fn maps_of(w: &Workload, threads: usize) -> (robustmap::core::Map1D, robustmap::core::Map2D) {
+    let cfg = MeasureConfig { threads, ..Default::default() };
+    let plans1 = single_predicate_plans(SinglePredPlanSet::WithIndexJoins, w);
+    let map1 = build_map1d(w, &plans1, &Grid1D::pow2(4), &cfg);
+    let plans2: Vec<_> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, w)).collect();
+    let map2 = build_map2d(w, &plans2, &Grid2D::pow2(3), &cfg);
+    (map1, map2)
+}
+
+#[test]
+fn cache_hit_measures_identically_to_fresh_build() {
+    let config = private_config();
+    let fresh = TableBuilder::build(config.clone());
+    cache::store(&fresh);
+    let Some(path) = cache::cache_path(&config) else {
+        // Caching disabled in this environment (ROBUSTMAP_WORKLOAD_CACHE=off):
+        // nothing to compare against.
+        return;
+    };
+    assert!(path.exists(), "store must have written {}", path.display());
+    let loaded = cache::load(&config).expect("stored workload must load");
+
+    // Same maps, whichever workload and whichever thread count built them.
+    let (fresh1, fresh2) = maps_of(&fresh, 1);
+    for threads in [1, 4] {
+        let (hit1, hit2) = maps_of(&loaded, threads);
+        assert_eq!(fresh1, hit1, "1-D map diverged (threads={threads})");
+        assert_eq!(fresh2, hit2, "2-D map diverged (threads={threads})");
+    }
+
+    // And a second fresh build agrees too (generation itself is
+    // deterministic; the cache adds no wobble on either side).
+    let rebuilt = TableBuilder::build(config);
+    let (re1, re2) = maps_of(&rebuilt, 1);
+    assert_eq!(fresh1, re1);
+    assert_eq!(fresh2, re2);
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn build_cached_roundtrips_through_the_cache() {
+    let mut config = private_config();
+    config.seed ^= 1; // own cache file, distinct from the test above
+    let Some(path) = cache::cache_path(&config) else { return };
+    let _ = std::fs::remove_file(&path);
+
+    // Miss: builds and stores.
+    let first = TableBuilder::build_cached(config.clone());
+    assert!(path.exists(), "miss must populate the cache");
+    // Hit: loads the stored bytes.
+    let second = TableBuilder::build_cached(config);
+    assert_eq!(first.rows(), second.rows());
+    let (m1a, m1b) = maps_of(&first, 1);
+    let (m2a, m2b) = maps_of(&second, 1);
+    assert_eq!(m1a, m2a);
+    assert_eq!(m1b, m2b);
+
+    let _ = std::fs::remove_file(path);
+}

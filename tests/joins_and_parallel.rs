@@ -10,7 +10,7 @@ use robustmap::storage::Session;
 use robustmap::workload::{TableBuilder, Workload, WorkloadConfig, COL_A, COL_B, COL_C};
 
 fn workload() -> Workload {
-    TableBuilder::build(WorkloadConfig::with_rows(1 << 13))
+    TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 13))
 }
 
 /// R(c, a) = rows with a <= ta; S(c, b) = rows with b <= tb; join on c.
@@ -163,7 +163,7 @@ fn parallel_scan_plan_matches_serial_scan() {
 
 #[test]
 fn parallel_speedup_is_monotone_in_dop() {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 16));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 16));
     let cfg = MeasureConfig::default();
     let elapsed = |dop| {
         let plan = PlanSpec::ParallelTableScan {

@@ -13,7 +13,7 @@ fn fig1_map(rows: u64, grid_exp: u32, pool_pages: usize) -> (Workload, robustmap
     // The pool must stay well below the heap's page count, as in the
     // paper's setup (60M rows dwarf any 2009 buffer pool); otherwise the
     // traditional fetch is absorbed by caching and the landmarks vanish.
-    let w = TableBuilder::build(WorkloadConfig::with_rows(rows));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(rows));
     assert!((pool_pages as u32) < w.heap_pages() / 2, "pool too large for this table");
     let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
     let cfg = MeasureConfig { pool_pages, ..Default::default() };

@@ -10,7 +10,7 @@ use robustmap::systems::{
 use robustmap::workload::{TableBuilder, Workload, WorkloadConfig};
 
 fn workload() -> Workload {
-    TableBuilder::build(WorkloadConfig::with_rows(1 << 13))
+    TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 13))
 }
 
 #[test]

@@ -11,7 +11,7 @@ use robustmap::systems::{two_predicate_plans, SystemId, TwoPredPlan};
 use robustmap::workload::{TableBuilder, Workload, WorkloadConfig};
 
 fn build_all(rows: u64, grid_exp: u32, cfg: MeasureConfig) -> (Workload, Map2D) {
-    let w = TableBuilder::build(WorkloadConfig::with_rows(rows));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(rows));
     let plans: Vec<TwoPredPlan> =
         SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
     let map = build_map2d(&w, &plans, &Grid2D::pow2(grid_exp), &cfg);
@@ -64,7 +64,7 @@ fn figure4_shape_one_dimension_dominates() {
     // enough that reading it dwarfs a handful of random fetches, and a
     // grid floor low enough that the smallest cells *are* a handful of
     // fetches (the paper had 60M rows and swept to 2^-16).
-    let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 17));
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 17));
     let plans = two_predicate_plans(SystemId::A, &w);
     let map = build_map2d(&w, &plans, &Grid2D::pow2(14), &small_pool());
     let plan = map.plan_index("A2 idx(a) fetch").unwrap();
@@ -180,7 +180,7 @@ fn figure10_most_points_have_multiple_optimal_plans() {
 #[test]
 fn maps_are_deterministic_across_builds_and_thread_counts() {
     let build = |threads| {
-        let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 12));
+        let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 12));
         let plans = two_predicate_plans(SystemId::A, &w);
         let cfg = MeasureConfig { threads, ..Default::default() };
         build_map2d(&w, &plans, &Grid2D::pow2(6), &cfg)
