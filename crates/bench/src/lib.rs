@@ -42,6 +42,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_parallel",
     "ext_skew",
     "ext_optimizer",
+    "ext_correlated",
     "ext_regression",
 ];
 
@@ -76,6 +77,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_parallel" => figures_ext::ext_parallel(h),
         "ext_skew" => figures_ext::ext_skew(h),
         "ext_optimizer" => figures_ext::ext_optimizer(h),
+        "ext_correlated" => figures_ext::ext_correlated(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

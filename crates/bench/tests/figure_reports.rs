@@ -22,7 +22,7 @@ fn figure_reports_contain_their_key_markers() {
         ("fig8", &["near-optimal", "B1 idx(a,b) bitmap fetch", "worst quotient"]),
         ("fig9", &["C1 mdam(a,b) covering", "reasonable across the entire parameter space"]),
         ("fig10", &["optimal plan(s)", "points have several"]),
-        ("ext_sort_spill", &["abrupt", "graceful", "discontinuities"]),
+        ("ext_sort_spill", &["abrupt", "graceful", "changepoints", "cliff"]),
         ("ext_memory", &["memory grant x input size"]),
         ("ext_worst", &["danger map", "worst choice"]),
         ("ext_shootout", &["holds the best plan", "leaderboard", "headline"]),
@@ -32,6 +32,17 @@ fn figure_reports_contain_their_key_markers() {
         ("ext_parallel", &["dop", "speedup at dop 16", "skew"]),
         ("ext_skew", &["Zipf", "improved"]),
         ("ext_optimizer", &["estimate error", "mean regret", "exact", "16x under"]),
+        (
+            "ext_correlated",
+            &[
+                "independence",
+                "rho",
+                "regret",
+                "crossovers along the rho = 1.0 diagonal",
+                "best-plan share",
+                "regression checks over the correlated scenario",
+            ],
+        ),
         ("ext_regression", &["monotone", "contiguous optimality region", "verdict"]),
     ];
     for (fig, needles) in expectations {

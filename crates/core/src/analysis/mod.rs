@@ -9,14 +9,16 @@
 //! weaknesses in the algorithms ... track progress ... and permit daily
 //! regression testing"; [`score`] is that benchmark.
 
-pub mod discontinuity;
+pub mod changepoint;
 pub mod flattening;
 pub mod landmarks;
 pub mod monotonicity;
 pub mod score;
 pub mod symmetry;
 
-pub use discontinuity::{detect_discontinuities, Discontinuity};
+pub use changepoint::{
+    detect_changepoints, ChangeClass, Changepoint, ChangepointAnalysis, ChangepointConfig,
+};
 pub use flattening::{flattening_violations, flattening_violations_log2, FlatteningViolation};
 pub use landmarks::{crossovers, Crossover};
 pub use monotonicity::{monotonicity_violations, MonotonicityViolation};

@@ -10,8 +10,15 @@
 //! factors of the best plan, smoothness, and contiguity of the optimality
 //! region.  Scores order plans by *robustness*, not by peak performance —
 //! the trade-off §3.3 ends on ("robustness might well trump performance").
+//!
+//! Smoothness is judged by the changepoint detector
+//! ([`crate::analysis::changepoint`]) and enters the headline as a
+//! *severity-weighted* penalty: a 1000x spill cliff costs far more than a
+//! marginal 4x one, and a knee (slope break without a level shift) costs
+//! less than any cliff — raw changepoint counts would rank a plan with one
+//! catastrophic cliff above one with two benign knees.
 
-use crate::analysis::discontinuity::detect_discontinuities;
+use crate::analysis::changepoint::{detect_changepoints, ChangeClass, ChangepointConfig};
 use crate::analysis::monotonicity::monotonicity_violations;
 use crate::regions::RegionStats;
 use crate::relative::{OptimalityTolerance, RelativeMap2D};
@@ -27,24 +34,72 @@ pub struct RobustnessScore {
     pub area_within_2x: f64,
     /// Fraction of the space within 10x of the best plan.
     pub area_within_10x: f64,
-    /// Number of cost discontinuities along axis-parallel sweeps.
-    pub discontinuities: usize,
+    /// Cost cliffs (level shifts) along axis-parallel sweeps.
+    pub cliffs: usize,
+    /// Cost knees (slope breaks) along axis-parallel sweeps.
+    pub knees: usize,
+    /// Σ log10 of cliff severities — the severity-weighted cliff penalty
+    /// (one 1000x cliff weighs like three 10x ones).
+    pub cliff_log10_severity: f64,
+    /// Σ knee slope-break magnitudes.
+    pub knee_severity: f64,
     /// Number of monotonicity violations along axis-parallel sweeps.
     pub monotonicity_violations: usize,
+    /// Cells the changepoint detector had to exclude (non-finite or
+    /// non-positive measurements) across all sweeps.  A non-zero count
+    /// means the smoothness numbers describe an incomplete curve — the
+    /// score CSV carries it so a leaderboard entry cannot look clean by
+    /// silently dropping broken cells.
+    pub excluded_cells: usize,
     /// Stats of the plan's strict-ish optimality region (factor 1.2).
     pub region: RegionStats,
 }
 
 impl RobustnessScore {
     /// A single headline number in `[0, 1]`: the harmonic blend of
-    /// coverage terms penalised by the worst-case quotient.  Designed for
-    /// regression tracking, not for cross-paper comparison.
+    /// coverage terms penalised by the worst-case quotient and by
+    /// severity-weighted smoothness defects.  Designed for regression
+    /// tracking, not for cross-paper comparison.
     pub fn headline(&self) -> f64 {
         let coverage = 0.5 * self.area_within_2x + 0.5 * self.area_within_10x;
         let worst_penalty = 1.0 / (1.0 + self.worst_quotient.log10().max(0.0));
-        let smooth_penalty =
-            1.0 / (1.0 + self.discontinuities as f64 + self.monotonicity_violations as f64);
+        let smooth_penalty = 1.0
+            / (1.0
+                + 2.0 * self.cliff_log10_severity
+                + 0.5 * self.knee_severity
+                + self.monotonicity_violations as f64);
         coverage * worst_penalty.sqrt() * smooth_penalty.sqrt()
+    }
+}
+
+/// Smoothness defects of one axis-parallel sweep, accumulated.
+#[derive(Debug, Clone, Copy, Default)]
+struct Smoothness {
+    cliffs: usize,
+    knees: usize,
+    cliff_log10: f64,
+    knee_severity: f64,
+    monos: usize,
+    excluded: usize,
+}
+
+impl Smoothness {
+    fn absorb(&mut self, work: &[f64], cost: &[f64], cp: &ChangepointConfig, mono_tol: f64) {
+        let analysis = detect_changepoints(work, cost, cp);
+        self.excluded += analysis.diagnostics.len();
+        for c in &analysis.changepoints {
+            match c.class {
+                ChangeClass::Cliff => {
+                    self.cliffs += 1;
+                    self.cliff_log10 += c.severity.log10();
+                }
+                ChangeClass::Knee => {
+                    self.knees += 1;
+                    self.knee_severity += c.severity;
+                }
+            }
+        }
+        self.monos += monotonicity_violations(work, cost, mono_tol).len();
     }
 }
 
@@ -53,21 +108,19 @@ impl RobustnessScore {
 pub fn score_map2d(rel: &RelativeMap2D, plan: usize, absolute_seconds: &[f64]) -> RobustnessScore {
     let (na, nb) = rel.dims();
     assert_eq!(absolute_seconds.len(), na * nb, "seconds grid size mismatch");
-    let mut discontinuities = 0;
-    let mut monos = 0;
+    let cp = ChangepointConfig::default();
+    let mut smooth = Smoothness::default();
     // Row sweeps (fix ib, vary ia).
     for ib in 0..nb {
         let work: Vec<f64> = rel.sel_a.to_vec();
         let cost: Vec<f64> = (0..na).map(|ia| absolute_seconds[ia * nb + ib]).collect();
-        discontinuities += detect_discontinuities(&work, &cost, 8.0).len();
-        monos += monotonicity_violations(&work, &cost, 0.05).len();
+        smooth.absorb(&work, &cost, &cp, 0.05);
     }
     // Column sweeps (fix ia, vary ib).
     for ia in 0..na {
         let work: Vec<f64> = rel.sel_b.to_vec();
         let cost: Vec<f64> = (0..nb).map(|ib| absolute_seconds[ia * nb + ib]).collect();
-        discontinuities += detect_discontinuities(&work, &cost, 8.0).len();
-        monos += monotonicity_violations(&work, &cost, 0.05).len();
+        smooth.absorb(&work, &cost, &cp, 0.05);
     }
     let region = RegionStats::of(&rel.optimal_region(plan, OptimalityTolerance::Factor(1.2)));
     RobustnessScore {
@@ -75,8 +128,12 @@ pub fn score_map2d(rel: &RelativeMap2D, plan: usize, absolute_seconds: &[f64]) -
         worst_quotient: rel.worst_quotient(plan),
         area_within_2x: rel.area_within(plan, 2.0),
         area_within_10x: rel.area_within(plan, 10.0),
-        discontinuities,
-        monotonicity_violations: monos,
+        cliffs: smooth.cliffs,
+        knees: smooth.knees,
+        cliff_log10_severity: smooth.cliff_log10,
+        knee_severity: smooth.knee_severity,
+        monotonicity_violations: smooth.monos,
+        excluded_cells: smooth.excluded,
         region,
     }
 }
@@ -101,13 +158,19 @@ pub fn score_series(
     for (i, &q) in quotients.iter().enumerate() {
         grid.set(i, 0, q <= 1.2);
     }
+    let mut smooth = Smoothness::default();
+    smooth.absorb(sels, seconds, &ChangepointConfig::default(), 0.05);
     RobustnessScore {
         plan: plan.to_string(),
         worst_quotient: worst,
         area_within_2x: within(2.0),
         area_within_10x: within(10.0),
-        discontinuities: detect_discontinuities(sels, seconds, 8.0).len(),
-        monotonicity_violations: monotonicity_violations(sels, seconds, 0.05).len(),
+        cliffs: smooth.cliffs,
+        knees: smooth.knees,
+        cliff_log10_severity: smooth.cliff_log10,
+        knee_severity: smooth.knee_severity,
+        monotonicity_violations: smooth.monos,
+        excluded_cells: smooth.excluded,
         region: RegionStats::of(&grid),
     }
 }
@@ -148,10 +211,28 @@ mod tests {
     }
 
     #[test]
-    fn fragile_plan_shows_discontinuity() {
-        let (rel, grids) = rel_map();
-        let s = score_map2d(&rel, 1, &grids[1]);
-        assert!(s.discontinuities > 0, "1.5 -> 2000 along an axis is a cliff");
+    fn fragile_plan_shows_a_severity_weighted_cliff() {
+        // 4x1: the fragile plan's cost explodes 800x between adjacent
+        // selectivities while the robust plan stays flat.
+        let robust = vec![m(2.0), m(2.0), m(2.0), m(2.0)];
+        let fragile = vec![m(1.0), m(1.1), m(900.0), m(990.0)];
+        let map = Map2D::new(
+            vec![0.125, 0.25, 0.5, 1.0],
+            vec![1.0],
+            vec!["robust".into(), "fragile".into()],
+            vec![robust, fragile],
+        );
+        let rel = RelativeMap2D::from_map(&map);
+        let s = score_map2d(&rel, 1, &map.seconds_grid(1));
+        assert!(s.cliffs > 0, "1.1 -> 900 along an axis is a cliff: {s:?}");
+        assert!(
+            s.cliff_log10_severity > 2.0,
+            "an ~800x jump carries its severity: {}",
+            s.cliff_log10_severity
+        );
+        let clean = score_map2d(&rel, 0, &map.seconds_grid(0));
+        assert_eq!(clean.cliffs + clean.knees, 0);
+        assert!(clean.headline() > s.headline());
     }
 
     #[test]
@@ -163,5 +244,9 @@ mod tests {
         assert!((s.area_within_2x - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.worst_quotient - 25.0).abs() < 1e-12);
         assert_eq!(s.region.total_area, 1);
+        // The 33x jump from 3 to 100 over a factor-2 step is a cliff, and
+        // its severity feeds the headline penalty.
+        assert_eq!(s.cliffs, 1);
+        assert!(s.cliff_log10_severity > 0.5);
     }
 }

@@ -20,9 +20,9 @@
 //! * [`regions`] — regions of optimality, their size, shape and
 //!   contiguity, and multi-optimal counting (Figure 10, §3.4);
 //! * [`analysis`] — the paper's reading vocabulary: monotonicity checks,
-//!   cost-curve flattening, discontinuity detection, symmetry (Figure 5),
-//!   break-even landmarks (Figure 1), and the robustness scores sketched as
-//!   a benchmark in §4;
+//!   cost-curve flattening, changepoint detection (cost cliffs vs knees),
+//!   symmetry (Figure 5), break-even landmarks (Figure 1), and the
+//!   robustness scores sketched as a benchmark in §4;
 //! * [`render`] — the order-of-magnitude color scales of Figures 3 and 6,
 //!   ANSI terminal heat maps, SVG heat maps and log-log line plots, CSV;
 //! * [`report`] — plain-text tables that print the same series the paper's

@@ -12,7 +12,7 @@
 //! flattening, no unexplained discontinuities, bounded worst-case
 //! quotients, contiguous optimality regions.
 
-use crate::analysis::discontinuity::detect_discontinuities;
+use crate::analysis::changepoint::{detect_changepoints, ChangepointConfig};
 use crate::analysis::flattening::flattening_violations;
 use crate::analysis::monotonicity::monotonicity_violations;
 use crate::map::{Map1D, Map2D};
@@ -27,9 +27,11 @@ pub struct CheckConfig {
     pub monotonicity_tolerance: f64,
     /// Slope-growth factor tolerated before flattening is violated.
     pub flattening_tolerance: f64,
-    /// Cost-jump factor (relative to work growth) that counts as a
-    /// discontinuity.
-    pub discontinuity_factor: f64,
+    /// The changepoint criterion behind the continuity checks: a cliff
+    /// (level shift beyond `cliff_factor`) fails the check; a knee (slope
+    /// break) is reported but does not fail — the paper expects graceful
+    /// degradation to bend, just not to jump.
+    pub changepoint: ChangepointConfig,
     /// Largest acceptable worst-case quotient for a plan advertised as
     /// robust.
     pub max_worst_quotient: f64,
@@ -42,7 +44,7 @@ impl Default for CheckConfig {
         CheckConfig {
             monotonicity_tolerance: 0.05,
             flattening_tolerance: 2.0,
-            discontinuity_factor: 8.0,
+            changepoint: ChangepointConfig::default(),
             max_worst_quotient: 100.0,
             region_tolerance: OptimalityTolerance::Factor(1.2),
         }
@@ -91,9 +93,33 @@ impl RegressionSuite {
     /// discontinuities (flattening is reported but informational, since
     /// the paper *expects* some plans to fail it).
     pub fn check_map1d(&mut self, map: &Map1D, cfg: &CheckConfig) {
-        let work: Vec<f64> = map.result_rows.iter().map(|&r| (r.max(1)) as f64).collect();
+        let raw_work: Vec<f64> = map.result_rows.iter().map(|&r| (r.max(1)) as f64).collect();
+        // Discrete grids legitimately produce tied result counts (tiny
+        // selectivities clamping to the same row count): grid cells with
+        // equal work measure the same effective point, so keep only cells
+        // that strictly advance past the last *kept* value rather than
+        // letting the detector flag a non-ascending axis on a healthy
+        // curve.  Dropped cells are remembered with their kept twin: a
+        // cost jump between same-work cells is an (infinite-slope)
+        // discontinuity the filtered sweep cannot see, and outright
+        // non-monotone result counts are surfaced as reduced coverage.
+        let mut last_kept = f64::NEG_INFINITY;
+        let mut keep: Vec<usize> = Vec::with_capacity(raw_work.len());
+        let mut dropped: Vec<(usize, usize, bool)> = Vec::new(); // (cell, kept twin, is_tie)
+        for (i, &w) in raw_work.iter().enumerate() {
+            if w > last_kept {
+                keep.push(i);
+                last_kept = w;
+            } else {
+                let twin = *keep.last().expect("the first cell is always kept");
+                dropped.push((i, twin, w == last_kept));
+            }
+        }
+        let work: Vec<f64> = keep.iter().map(|&i| raw_work[i]).collect();
+        let dips = dropped.iter().filter(|&&(_, _, is_tie)| !is_tie).count();
         for series in &map.series {
-            let secs = series.seconds();
+            let all_secs = series.seconds();
+            let secs: Vec<f64> = keep.iter().map(|&i| all_secs[i]).collect();
             let monos = monotonicity_violations(&work, &secs, cfg.monotonicity_tolerance);
             self.push(
                 format!("monotone: {}", series.plan),
@@ -108,19 +134,51 @@ impl RegressionSuite {
                         * 100.0)
                 },
             );
-            let cliffs = detect_discontinuities(&work, &secs, cfg.discontinuity_factor);
-            self.push(
-                format!("continuous: {}", series.plan),
-                cliffs.is_empty(),
-                if cliffs.is_empty() {
-                    String::new()
-                } else {
-                    format!("{} cliff(s), worst {:.0}x", cliffs.len(), cliffs
-                        .iter()
-                        .map(|d| d.cost_ratio)
-                        .fold(0.0f64, f64::max))
-                },
-            );
+            let analysis = detect_changepoints(&work, &secs, &cfg.changepoint);
+            let cliffs = analysis.cliff_count();
+            let knees = analysis.knee_count();
+            // A cost jump between tied-work cells (same result count,
+            // different threshold) is a discontinuity in its own right.
+            let tie_jump = dropped
+                .iter()
+                .filter(|&&(_, _, is_tie)| is_tie)
+                .filter_map(|&(i, twin, _)| {
+                    let (a, b) = (all_secs[twin], all_secs[i]);
+                    (a > 0.0 && b > 0.0).then(|| (b / a).max(a / b))
+                })
+                .filter(|&r| r > cfg.changepoint.cliff_factor)
+                .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))));
+            let ok = cliffs == 0 && analysis.diagnostics.is_empty() && tie_jump.is_none();
+            let mut details = String::new();
+            let mut add = |s: &str| {
+                if !details.is_empty() {
+                    details.push_str("; ");
+                }
+                details.push_str(s);
+            };
+            if cliffs > 0 {
+                add(&format!(
+                    "{cliffs} cliff(s), worst {:.0}x unexplained",
+                    analysis.cliffs().map(|c| c.severity).fold(0.0f64, f64::max)
+                ));
+            }
+            if let Some(r) = tie_jump {
+                add(&format!("cost jumps {r:.0}x between cells with tied result counts"));
+            }
+            for diag in &analysis.diagnostics {
+                add(diag);
+            }
+            if ok && knees > 0 {
+                add(&format!(
+                    "{knees} knee(s) — slope break without a level shift, informational"
+                ));
+            }
+            if dips > 0 {
+                add(&format!(
+                    "{dips} cell(s) with non-ascending result counts excluded from the sweep"
+                ));
+            }
+            self.push(format!("continuous: {}", series.plan), ok, details);
             let flats = flattening_violations(&work, &secs, cfg.flattening_tolerance);
             self.push(
                 format!("flattening (informational): {}", series.plan),
@@ -237,11 +295,71 @@ mod tests {
     }
 
     #[test]
+    fn tied_result_counts_do_not_fail_continuity() {
+        // Tiny selectivities clamp to the same result count on discrete
+        // grids; the duplicated work values must not trip any check.
+        let map = Map1D {
+            sels: vec![0.125, 0.25, 0.5, 0.75, 1.0],
+            result_rows: vec![1, 1, 2, 4, 8],
+            series: vec![Series {
+                plan: "tiny".into(),
+                points: vec![m(1.0), m(1.0), m(1.4), m(2.0), m(2.9)],
+            }],
+        };
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        assert!(suite.passed(), "{}", suite.report());
+    }
+
+    #[test]
+    fn cost_jump_at_tied_result_counts_fails_continuity() {
+        // Two cells with the same result count but a 900x cost gap: an
+        // infinite-slope discontinuity that the dedup filter must not
+        // hide from the continuity check.
+        let map = Map1D {
+            sels: vec![0.125, 0.25, 0.5, 1.0],
+            result_rows: vec![1, 1, 2, 4],
+            series: vec![Series {
+                plan: "tie jump".into(),
+                points: vec![m(1.0), m(900.0), m(1.4), m(2.0)],
+            }],
+        };
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        let cont = suite.results.iter().find(|r| r.name.contains("continuous")).unwrap();
+        assert!(!cont.passed, "{}", suite.report());
+        assert!(cont.details.contains("tied result counts"), "{}", cont.details);
+    }
+
+    #[test]
+    fn non_monotone_result_counts_do_not_fail_continuity() {
+        // A dip in result counts must drop every cell until the axis
+        // strictly advances past the last kept value — comparing only
+        // adjacent cells would keep the partial recovery and hand the
+        // detector a non-ascending axis (a false continuity FAIL).
+        let map = Map1D {
+            sels: vec![0.125, 0.25, 0.5, 1.0],
+            result_rows: vec![100, 40, 60, 200],
+            series: vec![Series {
+                plan: "dip".into(),
+                points: vec![m(1.0), m(1.0), m(1.0), m(1.4)],
+            }],
+        };
+        let mut suite = RegressionSuite::new();
+        suite.check_map1d(&map, &CheckConfig::default());
+        let cont = suite.results.iter().find(|r| r.name.contains("continuous")).unwrap();
+        assert!(cont.passed, "{}", suite.report());
+    }
+
+    #[test]
     fn flattening_is_informational_only() {
         // Steepening tail (Figure 1's improved scan): reported, not failed.
         let map = map1d(vec![("steep tail", vec![1.0, 1.1, 1.2, 9.0])]);
         let mut suite = RegressionSuite::new();
-        let cfg = CheckConfig { discontinuity_factor: 1e9, ..Default::default() };
+        let cfg = CheckConfig {
+            changepoint: ChangepointConfig { cliff_factor: 1e9, ..Default::default() },
+            ..Default::default()
+        };
         suite.check_map1d(&map, &cfg);
         assert!(suite.passed(), "{}", suite.report());
         let flat = suite.results.iter().find(|r| r.name.contains("flattening")).unwrap();

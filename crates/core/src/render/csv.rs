@@ -6,7 +6,9 @@
 use crate::map::{Map1D, Map2D};
 use crate::relative::RelativeMap2D;
 
-fn sanitize(name: &str) -> String {
+/// Make a plan name safe for an unquoted CSV field (commas become
+/// semicolons) — the one sanitisation rule every CSV artifact shares.
+pub fn sanitize(name: &str) -> String {
     name.replace(',', ";")
 }
 

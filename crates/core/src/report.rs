@@ -95,23 +95,58 @@ pub fn multi_optimal_report(rel: &RelativeMap2D, tol: OptimalityTolerance) -> St
 }
 
 /// Robustness-benchmark leaderboard (§4): plans sorted by headline score.
+/// Cliffs and knees come from the changepoint detector; `cliff sev.` is
+/// the summed log10 cliff severity that weights the headline penalty.
 pub fn score_report(scores: &[RobustnessScore]) -> String {
     let mut order: Vec<&RobustnessScore> = scores.iter().collect();
     order.sort_by(|a, b| b.headline().partial_cmp(&a.headline()).expect("finite scores"));
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<28} {:>9} {:>14} {:>7} {:>7} {:>7}\n",
-        "plan", "headline", "worst quotient", "<=2x", "disc.", "mono."
+        "{:<28} {:>9} {:>14} {:>7} {:>7} {:>10} {:>6} {:>6}\n",
+        "plan", "headline", "worst quotient", "<=2x", "cliffs", "cliff sev.", "knees", "mono."
     ));
     for s in order {
         out.push_str(&format!(
-            "{:<28} {:>9.3} {:>14.1} {:>6.1}% {:>7} {:>7}\n",
+            "{:<28} {:>9.3} {:>14.1} {:>6.1}% {:>7} {:>10.1} {:>6} {:>6}\n",
             s.plan,
             s.headline(),
             s.worst_quotient,
             s.area_within_2x * 100.0,
-            s.discontinuities,
+            s.cliffs,
+            s.cliff_log10_severity,
+            s.knees,
             s.monotonicity_violations,
+        ));
+    }
+    out
+}
+
+/// The leaderboard as CSV (one row per plan, headline order) — the
+/// machine-readable artifact a CI trajectory would track.
+pub fn score_csv(scores: &[RobustnessScore]) -> String {
+    let mut order: Vec<&RobustnessScore> = scores.iter().collect();
+    order.sort_by(|a, b| b.headline().partial_cmp(&a.headline()).expect("finite scores"));
+    let mut out = String::from(
+        "plan,headline,worst_quotient,area_within_2x,area_within_10x,cliffs,\
+         cliff_log10_severity,knees,knee_severity,monotonicity_violations,\
+         excluded_cells,region_components,region_coverage\n",
+    );
+    for s in order {
+        out.push_str(&format!(
+            "{},{:e},{:e},{:e},{:e},{},{:e},{},{:e},{},{},{},{:e}\n",
+            crate::render::csv::sanitize(&s.plan),
+            s.headline(),
+            s.worst_quotient,
+            s.area_within_2x,
+            s.area_within_10x,
+            s.cliffs,
+            s.cliff_log10_severity,
+            s.knees,
+            s.knee_severity,
+            s.monotonicity_violations,
+            s.excluded_cells,
+            s.region.component_count,
+            s.region.coverage,
         ));
     }
     out
@@ -165,6 +200,35 @@ mod tests {
         assert_eq!(r.lines().count(), 3);
         assert!(r.contains("p0"));
         assert!(r.contains("p1"));
+    }
+
+    #[test]
+    fn score_csv_sanitizes_commas_and_sorts_by_headline() {
+        use crate::regions::{BoolGrid, RegionStats};
+        let mut grid = BoolGrid::new(1, 1);
+        grid.set(0, 0, true);
+        let score = |plan: &str, worst: f64| crate::analysis::score::RobustnessScore {
+            plan: plan.into(),
+            worst_quotient: worst,
+            area_within_2x: 1.0,
+            area_within_10x: 1.0,
+            cliffs: 0,
+            knees: 0,
+            cliff_log10_severity: 0.0,
+            knee_severity: 0.0,
+            monotonicity_violations: 0,
+            excluded_cells: 0,
+            region: RegionStats::of(&grid),
+        };
+        let csv = score_csv(&[score("hash(a,b) intersect", 100.0), score("scan", 1.0)]);
+        let mut lines = csv.lines();
+        let cols = lines.next().unwrap().split(',').count();
+        let rows: Vec<&str> = lines.collect();
+        assert!(rows[0].starts_with("scan,"), "sorted by headline: {}", rows[0]);
+        assert!(rows[1].starts_with("hash(a;b) intersect,"), "{}", rows[1]);
+        for row in rows {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
     }
 
     #[test]

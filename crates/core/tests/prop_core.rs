@@ -2,7 +2,9 @@
 //! hold for *any* map, not just measured ones.
 
 use proptest::prelude::*;
-use robustmap_core::analysis::discontinuity::detect_discontinuities;
+use robustmap_core::analysis::changepoint::{
+    detect_changepoints, ChangeClass, ChangepointConfig,
+};
 use robustmap_core::analysis::landmarks::crossovers;
 use robustmap_core::analysis::monotonicity::monotonicity_violations;
 use robustmap_core::analysis::symmetry::symmetry_of;
@@ -157,9 +159,9 @@ proptest! {
     }
 
     /// A symmetric grid scores zero asymmetry; transposing never changes
-    /// the score; discontinuity detection is invariant under scaling.
+    /// the score; changepoint detection is invariant under scaling.
     #[test]
-    fn symmetry_and_discontinuity_props(vals in prop::collection::vec(0.01f64..100.0, 9..=9)) {
+    fn symmetry_and_changepoint_props(vals in prop::collection::vec(0.01f64..100.0, 9..=9)) {
         let n = 3;
         // Symmetrise: m[i][j] = v[i] + v[j].
         let vals_ref = &vals;
@@ -174,13 +176,99 @@ proptest! {
         let s1 = symmetry_of(&vals, n);
         let s2 = symmetry_of(&transposed, n);
         prop_assert!((s1.max_log_ratio - s2.max_log_ratio).abs() < 1e-12);
-        // Discontinuity count is scale invariant.
-        let axis = [1.0, 2.0, 4.0];
-        let row = &vals[..3];
-        let scaled: Vec<f64> = row.iter().map(|&x| x * 7.0).collect();
+        // Changepoint count is scale invariant on arbitrary positive data.
+        let axis = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let scaled: Vec<f64> = vals.iter().map(|&x| x * 7.0).collect();
+        let cfg = ChangepointConfig::default();
         prop_assert_eq!(
-            detect_discontinuities(&axis, row, 4.0).len(),
-            detect_discontinuities(&axis, &scaled, 4.0).len()
+            detect_changepoints(&axis, &vals, &cfg).changepoints.len(),
+            detect_changepoints(&axis, &scaled, &cfg).changepoints.len()
         );
+    }
+
+    /// Tentpole invariance (cliffs): a level shift on a power-law curve is
+    /// flagged as exactly one cliff with the shift's factor as severity —
+    /// the same under uniform cost scaling and under 2x grid refinement —
+    /// and the smooth curve without the shift is clean on both grids.
+    #[test]
+    fn cliff_detection_survives_scaling_and_refinement(
+        exponent in 0.2f64..2.2,
+        scale in 1e-3f64..1e3,
+        jump in 4.0f64..64.0,
+        jump_at in 3u32..6,
+    ) {
+        let cfg = ChangepointConfig::default();
+        let wstar = (1u64 << jump_at) as f64;
+        let shifted = |w: f64| if w >= wstar { jump * w.powf(exponent) } else { w.powf(exponent) };
+        let smooth = |w: f64| w.powf(exponent);
+        let coarse_w: Vec<f64> = (0..=8).map(|k| (1u64 << k) as f64).collect();
+        let fine_w: Vec<f64> = (0..=16).map(|k| 2f64.powf(k as f64 / 2.0)).collect();
+
+        // Smooth power laws are clean at any resolution and scale.
+        for w_axis in [&coarse_w, &fine_w] {
+            let c: Vec<f64> = w_axis.iter().map(|&w| scale * smooth(w)).collect();
+            prop_assert!(detect_changepoints(w_axis, &c, &cfg).is_clean());
+        }
+
+        let coarse_c: Vec<f64> = coarse_w.iter().map(|&w| shifted(w)).collect();
+        let a = detect_changepoints(&coarse_w, &coarse_c, &cfg);
+        prop_assert_eq!(a.changepoints.len(), 1, "{:?}", a);
+        let c = a.changepoints[0];
+        prop_assert_eq!(c.class, ChangeClass::Cliff);
+        prop_assert!((c.severity - jump).abs() / jump < 0.05, "severity {}", c.severity);
+
+        // Uniform cost scaling: identical changepoint set.
+        let scaled: Vec<f64> = coarse_c.iter().map(|&v| v * scale).collect();
+        let s = detect_changepoints(&coarse_w, &scaled, &cfg);
+        prop_assert_eq!(s.changepoints.len(), 1);
+        prop_assert_eq!(s.changepoints[0].class, ChangeClass::Cliff);
+        prop_assert_eq!(s.changepoints[0].index, c.index);
+        prop_assert!((s.changepoints[0].severity - c.severity).abs() < 1e-6 * c.severity);
+
+        // 2x grid refinement: same single cliff, same severity, located
+        // inside the same coarse segment.
+        let fine_c: Vec<f64> = fine_w.iter().map(|&w| shifted(w)).collect();
+        let f = detect_changepoints(&fine_w, &fine_c, &cfg);
+        prop_assert_eq!(f.changepoints.len(), 1, "{:?}", f);
+        let fc = f.changepoints[0];
+        prop_assert_eq!(fc.class, ChangeClass::Cliff);
+        prop_assert!((fc.severity - c.severity).abs() / c.severity < 0.05,
+            "coarse {} vs fine {}", c.severity, fc.severity);
+        prop_assert!((fc.at_work.log2() - c.at_work.log2()).abs() <= 1.0 + 1e-9,
+            "coarse at {} vs fine at {}", c.at_work, fc.at_work);
+    }
+
+    /// Tentpole invariance (knees): a pure slope break on a grid point is
+    /// flagged as exactly one knee at that point — the identical point,
+    /// with the identical break magnitude — on the coarse and the
+    /// 2x-refined grid, and under uniform cost scaling.
+    #[test]
+    fn knee_detection_survives_scaling_and_refinement(
+        p1 in 0.2f64..1.2,
+        dp in 1.0f64..2.8,
+        knee_at in 3u32..6,
+        scale in 1e-3f64..1e3,
+    ) {
+        let cfg = ChangepointConfig::default();
+        let wstar = (1u64 << knee_at) as f64;
+        let curve = |w: f64| {
+            if w <= wstar { w.powf(p1) } else { wstar.powf(p1) * (w / wstar).powf(p1 + dp) }
+        };
+        let coarse_w: Vec<f64> = (0..=8).map(|k| (1u64 << k) as f64).collect();
+        let fine_w: Vec<f64> = (0..=16).map(|k| 2f64.powf(k as f64 / 2.0)).collect();
+        let analyze = |w_axis: &[f64], s: f64| {
+            let c: Vec<f64> = w_axis.iter().map(|&w| s * curve(w)).collect();
+            detect_changepoints(w_axis, &c, &cfg)
+        };
+        for (w_axis, s) in [(&coarse_w, 1.0), (&coarse_w, scale), (&fine_w, 1.0)] {
+            let a = analyze(w_axis, s);
+            prop_assert_eq!(a.cliff_count(), 0, "{:?}", a);
+            prop_assert_eq!(a.knee_count(), 1, "{:?}", a);
+            let k = a.knees().next().unwrap();
+            prop_assert!((k.at_work - wstar).abs() < 1e-9 * wstar,
+                "knee at {} expected {}", k.at_work, wstar);
+            prop_assert!((k.severity - dp).abs() < 0.05 * dp.max(1.0),
+                "severity {} expected {}", k.severity, dp);
+        }
     }
 }

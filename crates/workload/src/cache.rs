@@ -42,6 +42,10 @@
 //! * `ROBUSTMAP_WORKLOAD_CACHE=<dir>` — use `<dir>` instead of the default;
 //! * `ROBUSTMAP_WORKLOAD_CACHE=off` (or `0`) — disable the cache entirely
 //!   ([`load`] always misses, [`store`] is a no-op);
+//! * `ROBUSTMAP_WORKLOAD_CACHE_BUDGET=<bytes[K|M|G]>` — the directory's
+//!   size budget (default 4 GiB; `off` disables pruning).  Every [`store`]
+//!   prunes least-recently-used files until the budget holds, so large
+//!   `--rows` sweeps cannot accumulate unbounded multi-GB caches;
 //! * deleting the directory is always safe: `rm -rf target/workload-cache`.
 
 use std::path::{Path, PathBuf};
@@ -65,6 +69,52 @@ const MAGIC: &[u8; 8] = b"RMWLC\x01\0\0";
 /// every old file miss and rebuild; forgetting one silently serves
 /// pre-change workloads to every binary and test.
 const VERSION: u64 = 1;
+
+/// Default size budget for the cache directory: 4 GiB.
+pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 30;
+
+/// The cache's size budget in bytes, or `None` when pruning is disabled:
+/// `$ROBUSTMAP_WORKLOAD_CACHE_BUDGET` if set (a byte count, optionally
+/// suffixed `K`/`M`/`G`; `off`/`0`/`unlimited` disables pruning), else
+/// [`DEFAULT_CACHE_BUDGET`].
+///
+/// [`store`] enforces the budget after every write by deleting
+/// least-recently-used cache files — LRU by modification time, which
+/// [`load`] refreshes on every hit — until the directory fits.  The file
+/// just written is never pruned, so one workload larger than the whole
+/// budget still caches (and evicts everything else).
+pub fn cache_budget() -> Option<u64> {
+    match std::env::var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET") {
+        Ok(v) => parse_budget(&v),
+        Err(_) => Some(DEFAULT_CACHE_BUDGET),
+    }
+}
+
+fn parse_budget(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("unlimited") || v == "0" {
+        return None;
+    }
+    let (digits, unit) = match v.as_bytes().last() {
+        Some(b'k' | b'K') => (&v[..v.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&v[..v.len() - 1], 1 << 20),
+        Some(b'g' | b'G') => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    match digits.trim().parse::<u64>() {
+        // Any spelling of zero ("0", "0K", "0G") disables pruning rather
+        // than setting a 0-byte budget that would evict the whole cache.
+        Ok(0) => None,
+        Ok(n) => Some(n.saturating_mul(unit)),
+        Err(_) => {
+            eprintln!(
+                "workload cache: unparseable ROBUSTMAP_WORKLOAD_CACHE_BUDGET {v:?}; \
+                 using the default ({DEFAULT_CACHE_BUDGET} bytes)"
+            );
+            Some(DEFAULT_CACHE_BUDGET)
+        }
+    }
+}
 
 /// The cache directory: `$ROBUSTMAP_WORKLOAD_CACHE` if set (its value
 /// `off`/`0` disables caching), else `<workspace>/target/workload-cache`.
@@ -112,6 +162,7 @@ fn dist_code(d: PredicateDistribution) -> (u64, u64) {
         PredicateDistribution::Permutation => (0, 0),
         PredicateDistribution::Uniform => (1, 0),
         PredicateDistribution::ZipfHundredths(h) => (2, h as u64),
+        PredicateDistribution::CorrelatedHundredths(rho) => (3, rho as u64),
     }
 }
 
@@ -218,7 +269,70 @@ pub fn store(w: &Workload) {
     };
     if let Err(e) = write() {
         eprintln!("workload cache: could not write {}: {e}", path.display());
+    } else if let (Some(budget), Some(dir)) = (cache_budget(), path.parent()) {
+        prune_to_budget(dir, budget, &path);
     }
+}
+
+/// Delete least-recently-used cache files (mtime order, ties broken by
+/// name for determinism) until the directory's `wl-*.bin` total fits
+/// `budget`.  `keep` — the file the caller just wrote — is never deleted.
+/// Best-effort: races with concurrent stores or deletions are harmless
+/// (the cache is an accelerator, not a correctness dependency).
+fn prune_to_budget(dir: &Path, budget: u64, keep: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let now = std::time::SystemTime::now();
+    // Temp files old enough that no in-flight store can still own them
+    // (writes take seconds): an interrupted process would otherwise leave
+    // multi-GB orphans that the budget accounting below never sees.
+    let tmp_grace = std::time::Duration::from_secs(15 * 60);
+    let mut files: Vec<(PathBuf, std::time::SystemTime, u64)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("wl-") {
+            continue;
+        }
+        let Ok(md) = entry.metadata() else { continue };
+        let mtime = md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if name.contains(".tmp.") {
+            if now.duration_since(mtime).is_ok_and(|age| age > tmp_grace) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+            continue;
+        }
+        if !name.ends_with(".bin") {
+            continue;
+        }
+        files.push((entry.path(), mtime, md.len()));
+    }
+    let mut total: u64 = files.iter().map(|f| f.2).sum();
+    if total <= budget {
+        return;
+    }
+    files.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    for (path, _, size) in files {
+        if total <= budget {
+            break;
+        }
+        if path == keep {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(size);
+        }
+    }
+}
+
+/// Mark a cache file recently used (LRU bookkeeping for
+/// [`prune_to_budget`]).  Best-effort — a read-only cache directory just
+/// degrades LRU to FIFO.
+fn touch(path: &Path) {
+    let now = std::time::SystemTime::now();
+    let _ = std::fs::File::options()
+        .write(true)
+        .open(path)
+        .and_then(|f| f.set_times(std::fs::FileTimes::new().set_modified(now)));
 }
 
 fn index_id_at(w: &Workload, slot: usize) -> robustmap_storage::IndexId {
@@ -253,7 +367,9 @@ impl<'a> Reader<'a> {
 pub fn load(config: &WorkloadConfig) -> Option<Workload> {
     let path = cache_path(config)?;
     let data = std::fs::read(&path).ok()?;
-    parse(&data, config)
+    let workload = parse(&data, config)?;
+    touch(&path); // refresh LRU recency only for files that actually served
+    Some(workload)
 }
 
 fn parse(data: &[u8], config: &WorkloadConfig) -> Option<Workload> {
@@ -468,12 +584,133 @@ mod tests {
             predicate_dist: PredicateDistribution::ZipfHundredths(110),
             ..base.clone()
         };
-        let hashes =
-            [&base, &seed, &rows, &zipf].map(config_hash);
+        let correlated = WorkloadConfig {
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(75),
+            ..base.clone()
+        };
+        let correlated_other = WorkloadConfig {
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(50),
+            ..base.clone()
+        };
+        let hashes = [&base, &seed, &rows, &zipf, &correlated, &correlated_other]
+            .map(config_hash);
         for i in 0..hashes.len() {
             for j in i + 1..hashes.len() {
                 assert_ne!(hashes[i], hashes[j], "{i} vs {j}");
             }
         }
+    }
+
+    #[test]
+    fn budget_parsing_handles_units_and_disabling() {
+        assert_eq!(parse_budget("12345"), Some(12345));
+        assert_eq!(parse_budget("64K"), Some(64 << 10));
+        assert_eq!(parse_budget(" 8m "), Some(8 << 20));
+        assert_eq!(parse_budget("2G"), Some(2 << 30));
+        assert_eq!(parse_budget("off"), None);
+        assert_eq!(parse_budget("unlimited"), None);
+        assert_eq!(parse_budget("0"), None);
+        // Any spelling of zero disables pruning; a 0-byte budget would
+        // evict the whole cache on every store.
+        assert_eq!(parse_budget("0K"), None);
+        assert_eq!(parse_budget("0g"), None);
+        // Unparseable values warn and fall back to the default.
+        assert_eq!(parse_budget("lots"), Some(DEFAULT_CACHE_BUDGET));
+    }
+
+    #[test]
+    fn cache_budget_evicts_least_recently_used_on_write() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = unique_dir("budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", &dir);
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET");
+
+        let cfg = |s: u64| WorkloadConfig { seed: 0xB0D6_E700 + s, ..WorkloadConfig::small() };
+        store(&TableBuilder::build(cfg(0)));
+        let size = std::fs::metadata(cache_path(&cfg(0)).unwrap()).unwrap().len();
+        // Room for two files and change, not three.
+        let budget = size * 5 / 2;
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET", budget.to_string());
+
+        let tick = || std::thread::sleep(std::time::Duration::from_millis(20));
+        tick();
+        store(&TableBuilder::build(cfg(1)));
+        tick();
+        // Loading cfg(0) refreshes its recency: cfg(1) becomes the LRU file.
+        assert!(load(&cfg(0)).is_some());
+        tick();
+        store(&TableBuilder::build(cfg(2)));
+
+        assert!(cache_path(&cfg(0)).unwrap().exists(), "recently loaded file survives");
+        assert!(!cache_path(&cfg(1)).unwrap().exists(), "least-recently-used file evicted");
+        assert!(cache_path(&cfg(2)).unwrap().exists(), "the just-written file is never evicted");
+        let total: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".bin"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= budget, "total {total} over budget {budget}");
+
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET");
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_cleaned_up_on_store() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = unique_dir("stale-tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", &dir);
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET");
+
+        // An orphan from an interrupted store (old) and one that could
+        // still be in flight (fresh): only the old one may be reaped.
+        let old_tmp = dir.join("wl-4096-dead.tmp.1.0");
+        let fresh_tmp = dir.join("wl-4096-live.tmp.2.0");
+        for p in [&old_tmp, &fresh_tmp] {
+            std::fs::write(p, b"orphan").unwrap();
+        }
+        let hour_ago = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        std::fs::File::options()
+            .write(true)
+            .open(&old_tmp)
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(hour_ago))
+            .unwrap();
+
+        let cfg = WorkloadConfig { seed: 0x7E3A_57A1E, ..WorkloadConfig::small() };
+        store(&TableBuilder::build(cfg.clone()));
+
+        assert!(!old_tmp.exists(), "stale orphan must be reaped");
+        assert!(fresh_tmp.exists(), "a possibly in-flight temp file must survive");
+        assert!(cache_path(&cfg).unwrap().exists());
+
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_single_workload_still_caches() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = unique_dir("oversized");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE", &dir);
+        // A budget smaller than any file: the just-written file must
+        // survive (and evict everything else).
+        std::env::set_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET", "1K");
+        let a = WorkloadConfig { seed: 0xF00D, ..WorkloadConfig::small() };
+        let b = WorkloadConfig { seed: 0xF00E, ..WorkloadConfig::small() };
+        store(&TableBuilder::build(a.clone()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store(&TableBuilder::build(b.clone()));
+        assert!(!cache_path(&a).unwrap().exists(), "older file evicted");
+        assert!(cache_path(&b).unwrap().exists(), "newest file kept despite the tiny budget");
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE_BUDGET");
+        std::env::remove_var("ROBUSTMAP_WORKLOAD_CACHE");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -152,27 +152,49 @@ impl Distribution for Zipf {
 /// `rho` the value equals the base permutation's value for the same row,
 /// otherwise it is fresh-uniform.  Models the correlated predicate columns
 /// that break independence assumptions.
-#[derive(Debug)]
+///
+/// Unlike the sequential-RNG distributions above, every draw is a **pure
+/// function of `(seed, i)`** (hash-derived), not of generation call order:
+/// a stateful RNG here would make the column depend on the order rows are
+/// generated in, so a parallel bulk-load path — or any reordering — would
+/// produce a different table from the same seed and break the workload
+/// cache's bit-identical round-trip (`tests/cache_determinism.rs`).
+#[derive(Debug, Clone)]
 pub struct Correlated {
     base: Permutation,
-    rho: f64,
-    rng: StdRng,
+    /// `rho` as a 2^-64 fixed-point threshold: a 64-bit hash draw below
+    /// this is a correlated row.
+    threshold: u128,
+    seed: u64,
 }
 
 impl Correlated {
     /// Correlate with `base` at strength `rho` in `[0, 1]`.
     pub fn new(base: Permutation, rho: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rho));
-        Correlated { base, rho, rng: StdRng::seed_from_u64(seed) }
+        let threshold = (rho * (u64::MAX as f64 + 1.0)) as u128;
+        Correlated { base, threshold, seed }
+    }
+
+    /// A splitmix64-style finalizer over `(seed, i, salt)` — the per-row
+    /// hash draws replacing a sequential RNG.
+    fn draw(&self, i: u64, salt: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
 impl Distribution for Correlated {
     fn value(&mut self, i: u64) -> i64 {
-        if self.rng.gen::<f64>() < self.rho {
+        if (self.draw(i, 1) as u128) < self.threshold {
             self.base.apply(i % self.base.domain()) as i64
         } else {
-            self.rng.gen_range(0..self.base.domain()) as i64
+            (self.draw(i, 2) % self.base.domain()) as i64
         }
     }
 }
@@ -272,5 +294,33 @@ mod tests {
         let matches = (0..512).filter(|&i| c.value(i) == base.apply(i) as i64).count();
         // ~50% direct matches plus ~0.2% accidental collisions.
         assert!((150..=360).contains(&matches), "matches {matches}");
+    }
+
+    #[test]
+    fn correlated_rho_zero_never_copies_systematically() {
+        let base = Permutation::new(4096, 9);
+        let mut c = Correlated::new(base.clone(), 0.0, 10);
+        let matches = (0..4096).filter(|&i| c.value(i) == base.apply(i) as i64).count();
+        // Only accidental collisions (~1 expected over the domain).
+        assert!(matches < 10, "matches {matches}");
+    }
+
+    #[test]
+    fn correlated_is_a_pure_function_of_seed_and_row() {
+        // Generation order must not matter: the same (seed, i) yields the
+        // same value whether rows are drawn forward, backward, or
+        // interleaved — the property the parallel bulk-load path and the
+        // workload cache's determinism rely on.
+        let base = Permutation::new(1024, 3);
+        let mut forward = Correlated::new(base.clone(), 0.6, 7);
+        let in_order: Vec<i64> = (0..1024).map(|i| forward.value(i)).collect();
+        let mut backward = Correlated::new(base.clone(), 0.6, 7);
+        let mut reversed: Vec<i64> = (0..1024).rev().map(|i| backward.value(i)).collect();
+        reversed.reverse();
+        assert_eq!(in_order, reversed);
+        let mut strided = Correlated::new(base, 0.6, 7);
+        for i in (0..1024).step_by(3).chain(1..5) {
+            assert_eq!(strided.value(i), in_order[i as usize], "row {i}");
+        }
     }
 }

@@ -20,7 +20,7 @@ use robustmap_storage::btree::Entry;
 use robustmap_storage::{BTree, ColumnType, Database, IndexId, Key, Rid, Row, Schema, TableId};
 
 use crate::calib::Calibrator;
-use crate::dist::{Distribution, Permutation, Uniform, Zipf};
+use crate::dist::{Correlated, Distribution, Permutation, Uniform, Zipf};
 
 /// Position of predicate column `a`.
 pub const COL_A: usize = 0;
@@ -44,6 +44,12 @@ pub enum PredicateDistribution {
     /// Zipf over 4096 distinct values with the given skew in hundredths
     /// (e.g. `110` = theta 1.10) — kept integral so configs stay `Eq`.
     ZipfHundredths(u32),
+    /// Correlated predicate columns: `a` is a permutation and `b` copies
+    /// `a`'s value with probability `rho` (in hundredths, e.g. `75` = 0.75),
+    /// falling back to fresh-uniform otherwise — the independence-assumption
+    /// failure the `ext_correlated` experiment sweeps.  Kept integral so
+    /// configs stay `Eq`.
+    CorrelatedHundredths(u32),
 }
 
 /// Configuration for [`TableBuilder`].
@@ -172,8 +178,7 @@ impl TableBuilder {
         let mut db = Database::new();
         let table = db.create_table("lineitem", lineitem_schema());
 
-        let mut dist_a = make_dist(&config, 1);
-        let mut dist_b = make_dist(&config, 2);
+        let (mut dist_a, mut dist_b) = predicate_dists(&config);
         let mut dist_c = Permutation::new(n, config.seed.wrapping_add(3));
         let mut payload = Uniform::new(1 << 20, config.seed.wrapping_add(4));
 
@@ -261,15 +266,28 @@ impl TableBuilder {
     }
 }
 
-fn make_dist(config: &WorkloadConfig, salt: u64) -> Box<dyn Distribution> {
-    let seed = config.seed.wrapping_add(salt);
+/// The generators for predicate columns `a` and `b`.  Most distributions
+/// draw the two columns independently (seeds `seed+1` and `seed+2`); the
+/// correlated family derives column `b` from column `a`'s permutation.
+fn predicate_dists(config: &WorkloadConfig) -> (Box<dyn Distribution>, Box<dyn Distribution>) {
+    let (sa, sb) = (config.seed.wrapping_add(1), config.seed.wrapping_add(2));
     match config.predicate_dist {
-        PredicateDistribution::Permutation => Box::new(Permutation::new(config.rows, seed)),
+        PredicateDistribution::Permutation => (
+            Box::new(Permutation::new(config.rows, sa)),
+            Box::new(Permutation::new(config.rows, sb)),
+        ),
         PredicateDistribution::Uniform => {
-            Box::new(Uniform::new((config.rows / 16).max(16), seed))
+            let domain = (config.rows / 16).max(16);
+            (Box::new(Uniform::new(domain, sa)), Box::new(Uniform::new(domain, sb)))
         }
-        PredicateDistribution::ZipfHundredths(h) => {
-            Box::new(Zipf::new(4096, h as f64 / 100.0, seed))
+        PredicateDistribution::ZipfHundredths(h) => (
+            Box::new(Zipf::new(4096, h as f64 / 100.0, sa)),
+            Box::new(Zipf::new(4096, h as f64 / 100.0, sb)),
+        ),
+        PredicateDistribution::CorrelatedHundredths(rho) => {
+            let base = Permutation::new(config.rows, sa);
+            let correlated = Correlated::new(base.clone(), rho as f64 / 100.0, sb);
+            (Box::new(base), Box::new(correlated))
         }
     }
 }
@@ -353,6 +371,36 @@ mod tests {
         assert_ne!(first_rows(&w1), first_rows(&w2));
         // Thresholds agree (both are permutations of the same domain).
         assert_eq!(w1.cal_a.threshold(0.25), w2.cal_a.threshold(0.25));
+    }
+
+    #[test]
+    fn correlated_workload_matches_rho_and_keeps_exact_a_selectivities() {
+        for rho in [0u32, 50, 100] {
+            let cfg = WorkloadConfig {
+                rows: 1 << 12,
+                seed: 7,
+                predicate_dist: PredicateDistribution::CorrelatedHundredths(rho),
+            };
+            let w = TableBuilder::build(cfg);
+            // Column a stays an exact permutation: calibrated thresholds hit
+            // their targets exactly.
+            let (_, count) = w.cal_a.threshold_with_count(0.25);
+            assert_eq!(count, 1 << 10, "rho {rho}");
+            // The a == b match fraction tracks rho (fresh-uniform draws add
+            // ~1/n accidental matches).
+            let s = Session::with_pool_pages(0);
+            let mut same = 0u64;
+            w.db.table(w.table).heap.scan(&s, |_, row| {
+                if row.get(COL_A) == row.get(COL_B) {
+                    same += 1;
+                }
+            });
+            let frac = same as f64 / w.rows() as f64;
+            assert!(
+                (frac - rho as f64 / 100.0).abs() < 0.03,
+                "rho {rho}: match fraction {frac:.3}"
+            );
+        }
     }
 
     #[test]

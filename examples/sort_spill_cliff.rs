@@ -14,7 +14,7 @@
 //! cargo run --release --example sort_spill_cliff
 //! ```
 
-use robustmap::core::analysis::discontinuity::detect_discontinuities;
+use robustmap::core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
 use robustmap::core::MeasureConfig;
 use robustmap::executor::ops::sort::sort_capacity_rows;
 use robustmap::executor::{
@@ -74,18 +74,29 @@ fn main() {
         graceful.push(sg);
     }
 
-    let cliff_a = detect_discontinuities(&axis, &abrupt, 4.0);
-    let cliff_g = detect_discontinuities(&axis, &graceful, 4.0);
+    let cp = ChangepointConfig::default();
+    let a = detect_changepoints(&axis, &abrupt, &cp);
+    let g = detect_changepoints(&axis, &graceful, &cp);
     println!(
-        "\ndiscontinuities detected — abrupt: {} (the predicted cliff), graceful: {}",
-        cliff_a.len(),
-        cliff_g.len()
+        "\nchangepoints — abrupt: {} cliff(s) (the predicted level shift), graceful: {} \
+         cliff(s), {} knee(s)",
+        a.cliff_count(),
+        g.cliff_count(),
+        g.knee_count(),
     );
-    for d in &cliff_a {
+    for c in a.cliffs() {
         println!(
-            "  abrupt sort jumps {:.1}x between adjacent input sizes (work grew only {:.1}x)",
-            d.cost_ratio, d.work_ratio
+            "  abrupt sort jumps {:.1}x beyond the local trend at ~{:.0} input rows",
+            c.severity, c.at_work
         );
     }
-    assert!(!cliff_a.is_empty(), "the abrupt sort should show its cliff");
+    for k in g.knees() {
+        println!(
+            "  graceful sort bends at ~{:.0} rows (log-log slope break {:.1}) — degradation \
+             in proportion to the overflow, no level shift",
+            k.at_work, k.severity
+        );
+    }
+    assert!(a.cliff_count() > 0, "the abrupt sort should show its cliff");
+    assert_eq!(g.cliff_count(), 0, "the graceful sort must not show a cliff");
 }

@@ -30,7 +30,7 @@ run cargo doc --no-deps --workspace
 SMOKE_CACHE="target/workload-cache-verify"
 rm -rf "$SMOKE_CACHE" target/figures-verify
 
-echo "== smoke 1/2: regenerate Figure 1 at reduced scale, COLD workload cache"
+echo "== smoke 1/3: regenerate Figure 1 at reduced scale, COLD workload cache"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify fig1
 test -s target/figures-verify/fig1.csv
@@ -41,13 +41,33 @@ test -n "$(ls "$SMOKE_CACHE"/wl-*.bin 2>/dev/null)" || {
 }
 cp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv
 
-echo "== smoke 2/2: same figure, WARM workload cache"
+echo "== smoke 2/3: same figure, WARM workload cache"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify fig1
 cmp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv || {
     echo "warm-cache artifacts differ from cold-cache artifacts" >&2
     exit 1
 }
+
+echo "== smoke 3/3: sort-spill + correlated sweeps, and the regression-check gate"
+ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
+    --rows 16384 --grid 8 --out target/figures-verify ext_sort_spill ext_correlated ext_regression
+test -s target/figures-verify/ext_sort_spill.csv
+test -s target/figures-verify/ext_correlated.csv
+test -s target/figures-verify/ext_correlated_regret.svg
+# The §4 regression benchmark must not shrink below the seed's 28 checks —
+# and they must all PASS (the figures binary prints, it does not gate).
+checks=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
+if [ "${checks:-0}" -lt 28 ]; then
+    echo "regression-check count ${checks:-0} dropped below the seed's 28" >&2
+    exit 1
+fi
+grep -q 'verdict: PASS' target/figures-verify/ext_regression.txt || {
+    echo "robustness regression benchmark FAILED:" >&2
+    grep '^\[FAIL\]' target/figures-verify/ext_regression.txt >&2
+    exit 1
+}
+echo "== regression-check count: $checks (>= 28), verdict PASS"
 rm -rf "$SMOKE_CACHE"
 
 echo "verify: all green"

@@ -65,6 +65,52 @@ fn cache_hit_measures_identically_to_fresh_build() {
 }
 
 #[test]
+fn correlated_column_survives_the_cache_bit_identically() {
+    // `dist::Correlated` draws are a pure function of (seed, row) — not of
+    // generation call order — so a correlated workload must round-trip the
+    // cache with byte-identical heap pages and rebuild identically from
+    // scratch.  (A call-order-dependent generator would pass neither under
+    // reordering; this pins the purity fix.)
+    let config = WorkloadConfig {
+        rows: 1 << 12,
+        seed: 0xC0_55E1A7ED,
+        predicate_dist: PredicateDistribution::CorrelatedHundredths(60),
+    };
+    let fresh = TableBuilder::build(config.clone());
+    cache::store(&fresh);
+    let Some(path) = cache::cache_path(&config) else { return };
+    assert!(path.exists(), "store must have written {}", path.display());
+    let loaded = cache::load(&config).expect("stored workload must load");
+    let rebuilt = TableBuilder::build(config);
+
+    let h1 = &fresh.db.table(fresh.table).heap;
+    let h2 = &loaded.db.table(loaded.table).heap;
+    let h3 = &rebuilt.db.table(rebuilt.table).heap;
+    assert_eq!(h1.page_count(), h2.page_count());
+    assert_eq!(h1.page_count(), h3.page_count());
+    for p in 0..h1.page_count() {
+        let bytes = h1.page(p).unwrap().as_bytes();
+        assert_eq!(
+            bytes.as_slice(),
+            h2.page(p).unwrap().as_bytes().as_slice(),
+            "cache round-trip diverged on heap page {p}"
+        );
+        assert_eq!(
+            bytes.as_slice(),
+            h3.page(p).unwrap().as_bytes().as_slice(),
+            "rebuild diverged on heap page {p}"
+        );
+    }
+    // The measurement contract holds for the correlated family too.
+    let (fresh1, fresh2) = maps_of(&fresh, 1);
+    let (hit1, hit2) = maps_of(&loaded, 4);
+    assert_eq!(fresh1, hit1);
+    assert_eq!(fresh2, hit2);
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn build_cached_roundtrips_through_the_cache() {
     let mut config = private_config();
     config.seed ^= 1; // own cache file, distinct from the test above
