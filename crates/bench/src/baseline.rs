@@ -1,0 +1,181 @@
+//! The committed per-figure wall-time baseline, and the delta summary the
+//! `figures` binary prints against it.
+//!
+//! The ROADMAP names the per-figure wall-time summary as "the number to
+//! track"; this module machine-checks it.  `baselines/walltime.json` (in
+//! this crate) records the seconds each figure took on the reference run
+//! at the default scale; every `figures` run at that scale prints the
+//! delta per figure and warns when a figure regressed by more than
+//! [`WARN_FACTOR`].  Runs at other scales skip the comparison (the
+//! baseline would be meaningless) and say so.
+//!
+//! The file is a flat JSON object — `{"_rows": N, "_grid": N,
+//! "fig1": seconds, ...}` — parsed by the tiny reader below because the
+//! workspace vendors no serde.  Regenerate it by pasting the summary of a
+//! `figures -- all` run on the reference machine.
+
+/// Warn when a figure takes more than this factor of its baseline.
+pub const WARN_FACTOR: f64 = 1.2;
+
+/// A parsed wall-time baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallTimeBaseline {
+    /// Table rows of the reference run.
+    pub rows: u64,
+    /// Grid exponent of the reference run.
+    pub grid_exp: u32,
+    /// `(figure, seconds)` pairs, in file order.
+    pub figures: Vec<(String, f64)>,
+}
+
+impl WallTimeBaseline {
+    /// Baseline seconds for one figure.
+    pub fn seconds_for(&self, name: &str) -> Option<f64> {
+        self.figures.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+}
+
+/// Parse the flat-object baseline format.  Returns `None` on anything
+/// malformed — a broken baseline must degrade to "no comparison", never
+/// panic a figures run.
+pub fn parse_baseline(text: &str) -> Option<WallTimeBaseline> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut rows = None;
+    let mut grid_exp = None;
+    let mut figures = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value: f64 = value.trim().parse().ok()?;
+        match key {
+            "_rows" => rows = Some(value as u64),
+            "_grid" => grid_exp = Some(value as u32),
+            _ => figures.push((key.to_string(), value)),
+        }
+    }
+    Some(WallTimeBaseline { rows: rows?, grid_exp: grid_exp?, figures })
+}
+
+/// Load the committed baseline, if present and well-formed.
+pub fn load_baseline() -> Option<WallTimeBaseline> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/walltime.json");
+    parse_baseline(&std::fs::read_to_string(path).ok()?)
+}
+
+/// The delta summary printed after a run's per-figure timings: current vs
+/// baseline seconds per figure, with a `WARN` marker past
+/// [`WARN_FACTOR`], and a total line.  Scale mismatches produce a single
+/// explanatory line instead of meaningless deltas.
+pub fn delta_summary(
+    baseline: &WallTimeBaseline,
+    rows: u64,
+    grid_exp: u32,
+    timings: &[(String, f64)],
+) -> String {
+    if rows != baseline.rows || grid_exp != baseline.grid_exp {
+        return format!(
+            "wall-time baseline recorded at {} rows, grid 2^-{} — current scale differs, \
+             no comparison\n",
+            baseline.rows, baseline.grid_exp
+        );
+    }
+    let mut out = String::from("wall time vs committed baseline (crates/bench/baselines/walltime.json):\n");
+    let mut cur_total = 0.0;
+    let mut base_total = 0.0;
+    let mut warned = 0usize;
+    for (name, secs) in timings {
+        let Some(base) = baseline.seconds_for(name) else {
+            out.push_str(&format!("  {name:<18} {secs:>8.2}s  (no baseline entry)\n"));
+            continue;
+        };
+        cur_total += secs;
+        base_total += base;
+        let delta = (secs / base.max(1e-9) - 1.0) * 100.0;
+        let warn = *secs > base * WARN_FACTOR;
+        if warn {
+            warned += 1;
+        }
+        out.push_str(&format!(
+            "  {name:<18} {secs:>8.2}s  baseline {base:>8.2}s  {delta:>+6.1}%{}\n",
+            if warn { "  WARN: regressed past the 20% budget" } else { "" }
+        ));
+    }
+    if base_total > 0.0 {
+        let delta = (cur_total / base_total - 1.0) * 100.0;
+        out.push_str(&format!(
+            "  {:<18} {cur_total:>8.2}s  baseline {base_total:>8.2}s  {delta:>+6.1}%\n",
+            "total (compared)"
+        ));
+    }
+    if warned > 0 {
+        out.push_str(&format!(
+            "  {warned} figure(s) regressed more than {:.0}% — investigate before merging \
+             (docs/EXPERIMENTS.md records the trajectory)\n",
+            (WARN_FACTOR - 1.0) * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "_rows": 1048576,
+        "_grid": 16,
+        "fig1": 5.0,
+        "ext_join": 33.0
+    }"#;
+
+    #[test]
+    fn parses_the_flat_object_format() {
+        let b = parse_baseline(SAMPLE).expect("well-formed");
+        assert_eq!(b.rows, 1 << 20);
+        assert_eq!(b.grid_exp, 16);
+        assert_eq!(b.seconds_for("fig1"), Some(5.0));
+        assert_eq!(b.seconds_for("ext_join"), Some(33.0));
+        assert_eq!(b.seconds_for("nope"), None);
+    }
+
+    #[test]
+    fn malformed_baselines_degrade_to_none() {
+        for bad in ["", "{", "{}", "{\"fig1\": 5.0}", "{\"_rows\": x}", "not json at all"] {
+            assert!(parse_baseline(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn the_committed_baseline_parses_and_covers_every_figure() {
+        let b = load_baseline().expect("crates/bench/baselines/walltime.json must parse");
+        assert_eq!(b.rows, 1 << 20, "baseline must be recorded at the default scale");
+        assert_eq!(b.grid_exp, 16);
+        for name in crate::ALL_FIGURES {
+            assert!(
+                b.seconds_for(name).is_some(),
+                "baseline entry missing for {name} — regenerate baselines/walltime.json \
+                 from a full `figures -- all` run"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_summary_flags_regressions_and_scale_mismatches() {
+        let b = parse_baseline(SAMPLE).unwrap();
+        let timings =
+            vec![("fig1".to_string(), 5.1), ("ext_join".to_string(), 50.0), ("new".to_string(), 1.0)];
+        let s = delta_summary(&b, 1 << 20, 16, &timings);
+        assert!(s.contains("fig1"), "{s}");
+        assert!(!s.lines().find(|l| l.contains("fig1")).unwrap().contains("WARN"), "{s}");
+        assert!(s.lines().find(|l| l.contains("ext_join")).unwrap().contains("WARN"), "{s}");
+        assert!(s.contains("no baseline entry"), "{s}");
+        assert!(s.contains("total (compared)"), "{s}");
+        let mismatch = delta_summary(&b, 1 << 14, 8, &timings);
+        assert!(mismatch.contains("no comparison"), "{mismatch}");
+        assert!(!mismatch.contains("WARN"), "{mismatch}");
+    }
+}

@@ -8,6 +8,7 @@
 //!
 //! Reports print to stdout; CSV/SVG artifacts land in `target/figures/`.
 
+use robustmap_bench::baseline::{delta_summary, load_baseline};
 use robustmap_bench::{run_figure, Harness, HarnessConfig, ALL_FIGURES};
 
 fn main() {
@@ -97,6 +98,15 @@ fn main() {
         eprintln!("  {name:<16} {secs:>8.2}s");
     }
     eprintln!("  {:<16} {:>8.2}s (incl. workload)", "total", total.elapsed().as_secs_f64());
+    // The machine-checked trajectory: deltas against the committed
+    // baseline, with WARN markers past the 20% budget (skipped with a note
+    // when the run is not at the baseline's scale).
+    match load_baseline() {
+        Some(base) => {
+            eprint!("\n{}", delta_summary(&base, harness.config.rows, harness.config.grid_exp, &timings));
+        }
+        None => eprintln!("\n(no parseable wall-time baseline at crates/bench/baselines/walltime.json)"),
+    }
 }
 
 fn die(msg: &str) -> ! {

@@ -15,6 +15,8 @@
 //! * `ext_optimizer` — plan choice under cardinality estimation error.
 //! * `ext_correlated` — correlated predicate columns vs the optimizer's
 //!   independence assumption (rho × selectivity robustness maps).
+//! * `ext_robust_choice` — the fix: joint statistics + the penalty-aware
+//!   robust chooser vs the point-estimate optimizer vs the oracle.
 //! * `ext_regression` — the §4 regression benchmark, runnable as a gate.
 
 use robustmap_core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
@@ -1032,6 +1034,394 @@ pub fn ext_correlated(h: &Harness) -> FigureOutput {
         ),
     ));
     FigureOutput::new("ext_correlated", report, files)
+}
+
+/// Per-chooser tallies over one set of cells: wrong-choice counts and
+/// regret (chosen join's measured cost over the better join's), for the
+/// point-estimate chooser and the robust chooser side by side.
+#[derive(Default)]
+struct ChooserTally {
+    cells: usize,
+    point_wrong: usize,
+    robust_wrong: usize,
+    point_worst: f64,
+    robust_worst: f64,
+    point_sum: f64,
+    robust_sum: f64,
+}
+
+impl ChooserTally {
+    /// Record one cell; returns `(point_regret, robust_regret)`.
+    fn add(&mut self, inl: f64, hash: f64, point: usize, robust: usize) -> (f64, f64) {
+        let secs = [inl, hash];
+        let best = inl.min(hash).max(1e-12);
+        let pq = secs[point] / best;
+        let rq = secs[robust] / best;
+        self.cells += 1;
+        if pq > 1.001 {
+            self.point_wrong += 1;
+        }
+        if rq > 1.001 {
+            self.robust_wrong += 1;
+        }
+        self.point_worst = self.point_worst.max(pq);
+        self.robust_worst = self.robust_worst.max(rq);
+        self.point_sum += pq;
+        self.robust_sum += rq;
+        (pq, rq)
+    }
+
+    fn wrong_fracs(&self) -> (f64, f64) {
+        let n = self.cells.max(1) as f64;
+        (self.point_wrong as f64 / n, self.robust_wrong as f64 / n)
+    }
+}
+
+/// Robust plan selection under estimation uncertainty — the fix for the
+/// failure `ext_correlated` mapped.  The joint statistics
+/// ([`robustmap_workload::JointHistogram`]) retire the independence
+/// assumption; the penalty-aware chooser
+/// ([`robustmap_systems::robust`]) replaces argmin-at-the-point-estimate
+/// with expected cost plus a tail penalty over the histogram's credible
+/// box (the PARQO-style selection criterion, see `docs/DESIGN.md`).
+/// Three choosers meet on the same cells: the point-estimate optimizer,
+/// the robust chooser, and the oracle (measured argmin); the figure maps
+/// wrong-choice fractions and regret over the correlated rho sweep, the
+/// rho = 1 `(sel_a x sel_b)` map, and a skewed workload, and gates the
+/// comparison with named regression checks.
+pub fn ext_robust_choice(h: &Harness) -> FigureOutput {
+    use robustmap_core::report::{score_csv, score_report};
+    use robustmap_core::{build_map2d, Grid2D, Map2D, Measurement, RegressionSuite};
+    use robustmap_systems::robust::{choose_plan_robust, uncertainty_region, RobustConfig};
+    use robustmap_systems::{choose_plan, CatalogStats, SelEstimates};
+    use robustmap_workload::gen::PredicateDistribution;
+    use robustmap_workload::{
+        EquiDepthHistogram, JointHistogram, JointHistogramConfig, TableBuilder, WorkloadConfig,
+        COL_A, COL_B,
+    };
+
+    let rows = h.w.rows().min(1 << 17); // the ext_correlated workload family, reused
+    let seed = h.w.config.seed;
+    let rcfg = RobustConfig::default();
+    let jcfg = JointHistogramConfig::default();
+    let model = &h.config.measure.model;
+    let mut suite = RegressionSuite::new();
+
+    let mut report = String::from(
+        "Extension M: robust plan choice under estimation uncertainty — joint statistics + \
+         penalty-aware selection\n",
+    );
+    report.push_str(&format!(
+        "{rows} rows; the choosers decide between the INL fetch and the hash intersect.  \
+         point = argmin of estimated cost under independence; robust = argmin of expected + \
+         {:.1} x tail(q = {:.2}) over the joint histogram's bucket-resolution credible box; \
+         oracle = measured argmin\n",
+        rcfg.penalty_weight, rcfg.tail_quantile,
+    ));
+
+    // --- Part 1: the correlated rho sweep (diagonal sel_a = sel_b = s),
+    // the exact cells where ext_correlated showed the frozen wrong choice.
+    let rho_pct: [u32; 5] = [0, 25, 50, 75, 100];
+    let max_exp = h.config.grid_exp.min(10) as i32;
+    let sels: Vec<f64> = (0..=max_exp).rev().map(|e| 0.5f64.powi(e)).collect();
+    let ns = sels.len();
+    let mut csv = String::from(
+        "workload,rho,sel_a,sel_b,inl_fetch,hash_intersect,point_choice,robust_choice,\
+         oracle_choice,point_regret,robust_regret\n",
+    );
+    let join_names = ["inl", "hash"];
+    report.push_str(&format!(
+        "\ndiagonal sweep:\n{:>6} {:>12} {:>13} {:>12} {:>13}\n",
+        "rho", "point wrong", "robust wrong", "point worst", "robust worst"
+    ));
+    let mut hedge_benign = true;
+    let mut total_point_wrong = 0usize;
+    let mut total_robust_wrong = 0usize;
+    let mut rho1_diag = ChooserTally::default();
+    for &pct in &rho_pct {
+        let w = TableBuilder::build_cached(WorkloadConfig {
+            rows,
+            seed,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(pct),
+        });
+        let plans = correlated_plan_set(&w);
+        let join_plans = &plans[1..3];
+        let stats = CatalogStats::of(&w);
+        let joint = JointHistogram::build_cached(&w, &jcfg);
+        let thr: Vec<(i64, i64)> =
+            sels.iter().map(|&s| (w.cal_a.threshold(s), w.cal_b.threshold(s))).collect();
+        let specs: Vec<PlanSpec> = join_plans
+            .iter()
+            .flat_map(|p| thr.iter().map(|&(ta, tb)| p.build(ta, tb)))
+            .collect();
+        let results = measure_batch(&w.db, &specs, &h.config.measure);
+        let mut tally = ChooserTally::default();
+        for (si, &s) in sels.iter().enumerate() {
+            let (ta, tb) = thr[si];
+            let (inl, hash) = (results[si].seconds, results[ns + si].seconds);
+            let point =
+                choose_plan(join_plans, ta, tb, &stats, &SelEstimates::exact(s, s), model);
+            let region = uncertainty_region(&joint, ta, tb);
+            let robust = choose_plan_robust(join_plans, ta, tb, &stats, &region, model, &rcfg);
+            let (pq, rq) = tally.add(inl, hash, point, robust);
+            let oracle = if inl <= hash { 0 } else { 1 };
+            csv.push_str(&format!(
+                "correlated,{},{s:e},{s:e},{inl:e},{hash:e},{},{},{},{pq:e},{rq:e}\n",
+                pct as f64 / 100.0,
+                join_names[point],
+                join_names[robust],
+                join_names[oracle],
+            ));
+        }
+        let (pw, rw) = tally.wrong_fracs();
+        report.push_str(&format!(
+            "{:>6.2} {:>11.1}% {:>12.1}% {:>11.2}x {:>12.2}x\n",
+            pct as f64 / 100.0,
+            pw * 100.0,
+            rw * 100.0,
+            tally.point_worst,
+            tally.robust_worst,
+        ));
+        // Hedging against the tail may pick the slightly-worse join where
+        // the two are near-equal (the paper's robustness-over-peak
+        // trade-off) — but any *extra* wrong choices must be benign.
+        hedge_benign &=
+            tally.robust_wrong <= tally.point_wrong || tally.robust_worst <= 1.1;
+        total_point_wrong += tally.point_wrong;
+        total_robust_wrong += tally.robust_wrong;
+        if pct == 100 {
+            rho1_diag = tally;
+        }
+    }
+    suite.check_named(
+        "diagonal sweep: robust hedging is never costly (extra wrong joins stay within 1.1x)",
+        hedge_benign,
+        String::new(),
+    );
+    suite.check_named(
+        "diagonal sweep: robust chooser total wrong-join cells below the point chooser's",
+        total_robust_wrong < total_point_wrong || total_point_wrong == 0,
+        format!("{total_robust_wrong} vs {total_point_wrong} of {}", rho_pct.len() * ns),
+    );
+    suite.check_named(
+        "rho = 1 diagonal: robust worst regret <= point worst regret",
+        rho1_diag.robust_worst <= rho1_diag.point_worst + 1e-9,
+        format!("{:.2}x vs {:.2}x", rho1_diag.robust_worst, rho1_diag.point_worst),
+    );
+
+    // --- Part 2: the full (sel_a x sel_b) map at rho = 1, where the
+    // independence-assuming chooser was wrong at ~55% of cells.  The two
+    // join plans are swept through the standard map builder; the chooser
+    // cost grids (each cell = the chosen join's measured seconds) are then
+    // changepoint-scored like any plan and ranked on the leaderboard.
+    let w1 = TableBuilder::build_cached(WorkloadConfig {
+        rows,
+        seed,
+        predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+    });
+    let plans1 = correlated_plan_set(&w1);
+    let stats1 = CatalogStats::of(&w1);
+    let joint1 = JointHistogram::build_cached(&w1, &jcfg);
+    let grid = Grid2D::pow2(h.config.grid_exp.min(6));
+    let m2 = build_map2d(&w1, &plans1[1..3], &grid, &h.config.measure);
+    let (na, nb) = m2.dims();
+    let mut map_tally = ChooserTally::default();
+    let mut point_regret = vec![1.0f64; na * nb];
+    let mut robust_regret = vec![1.0f64; na * nb];
+    let mut chooser_secs: Vec<Vec<Measurement>> =
+        (0..3).map(|_| Vec::with_capacity(na * nb)).collect();
+    for ia in 0..na {
+        for ib in 0..nb {
+            let (sa, sb) = (m2.sel_a[ia], m2.sel_b[ib]);
+            let (ta, tb) = (w1.cal_a.threshold(sa), w1.cal_b.threshold(sb));
+            let (inl, hash) = (m2.get(0, ia, ib).seconds, m2.get(1, ia, ib).seconds);
+            let point = choose_plan(
+                &plans1[1..3],
+                ta,
+                tb,
+                &stats1,
+                &SelEstimates::exact(sa, sb),
+                model,
+            );
+            let region = uncertainty_region(&joint1, ta, tb);
+            let robust =
+                choose_plan_robust(&plans1[1..3], ta, tb, &stats1, &region, model, &rcfg);
+            let (pq, rq) = map_tally.add(inl, hash, point, robust);
+            let c = ia * nb + ib;
+            point_regret[c] = pq;
+            robust_regret[c] = rq;
+            let secs = [inl, hash];
+            for (gi, s) in
+                [secs[point], secs[robust], inl.min(hash)].into_iter().enumerate()
+            {
+                chooser_secs[gi].push(Measurement { seconds: s, ..Default::default() });
+            }
+            let oracle = if inl <= hash { 0 } else { 1 };
+            csv.push_str(&format!(
+                "correlated_map,1,{sa:e},{sb:e},{inl:e},{hash:e},{},{},{},{pq:e},{rq:e}\n",
+                join_names[point],
+                join_names[robust],
+                join_names[oracle],
+            ));
+        }
+    }
+    let (pw, rw) = map_tally.wrong_fracs();
+    report.push_str(&format!(
+        "\n(sel_a x sel_b) map at rho = 1, {na}x{nb} grid:\n\
+         point chooser:  wrong at {:.1}% of cells, worst regret {:.2}x, mean {:.2}x\n\
+         robust chooser: wrong at {:.1}% of cells, worst regret {:.2}x, mean {:.2}x\n",
+        pw * 100.0,
+        map_tally.point_worst,
+        map_tally.point_sum / map_tally.cells as f64,
+        rw * 100.0,
+        map_tally.robust_worst,
+        map_tally.robust_sum / map_tally.cells as f64,
+    ));
+    // The acceptance comparisons: strictly better where the point chooser
+    // actually errs (at smoke scales the point chooser can be error-free,
+    // which trivially satisfies the intent).
+    suite.check_named(
+        "rho = 1 map: robust wrong-choice fraction strictly below the point chooser's",
+        map_tally.robust_wrong < map_tally.point_wrong || map_tally.point_wrong == 0,
+        format!("{:.1}% vs {:.1}%", rw * 100.0, pw * 100.0),
+    );
+    suite.check_named(
+        "rho = 1 map: robust worst-cell regret strictly below the point chooser's",
+        map_tally.robust_worst < map_tally.point_worst || map_tally.point_worst <= 1.001,
+        format!("{:.2}x vs {:.2}x", map_tally.robust_worst, map_tally.point_worst),
+    );
+    let chooser_map = Map2D::new(
+        m2.sel_a.clone(),
+        m2.sel_b.clone(),
+        vec![
+            "point-estimate chooser".to_string(),
+            "robust chooser".to_string(),
+            "oracle best join".to_string(),
+        ],
+        chooser_secs,
+    );
+    let rel = RelativeMap2D::from_map(&chooser_map);
+    let scores: Vec<_> =
+        (0..3).map(|p| score_map2d(&rel, p, &chooser_map.seconds_grid(p))).collect();
+    report.push_str("\nchooser leaderboard at rho = 1 (changepoint-scored like any plan):\n");
+    report.push_str(&score_report(&scores));
+    let robust_headline = scores.iter().find(|s| s.plan == "robust chooser").expect("scored");
+    let point_headline =
+        scores.iter().find(|s| s.plan == "point-estimate chooser").expect("scored");
+    suite.check_named(
+        "rho = 1 map: robust chooser's robustness score >= the point chooser's",
+        robust_headline.headline() >= point_headline.headline(),
+        format!("{:.3} vs {:.3}", robust_headline.headline(), point_headline.headline()),
+    );
+
+    // --- Part 3: the skewed workload — here the error source is not
+    // correlation but coarse marginal statistics; the sample-backed joint
+    // histogram sharpens both.
+    let wz = TableBuilder::build_cached(WorkloadConfig {
+        rows,
+        seed,
+        predicate_dist: PredicateDistribution::ZipfHundredths(110),
+    });
+    let plansz = correlated_plan_set(&wz);
+    let statsz = CatalogStats::of(&wz);
+    let jointz = JointHistogram::build_cached(&wz, &jcfg);
+    // The coarse catalog the point chooser gets: 8-bucket per-column
+    // histograms (the skew-error regime the histogram tests pin).
+    let s = robustmap_storage::Session::with_pool_pages(0);
+    let mut vals_a = Vec::new();
+    let mut vals_b = Vec::new();
+    wz.db.table(wz.table).heap.scan(&s, |_, row| {
+        vals_a.push(row.get(COL_A));
+        vals_b.push(row.get(COL_B));
+    });
+    let coarse_a = EquiDepthHistogram::build(vals_a, 8);
+    let coarse_b = EquiDepthHistogram::build(vals_b, 8);
+    let thr: Vec<(i64, i64)> =
+        sels.iter().map(|&s| (wz.cal_a.threshold(s), wz.cal_b.threshold(s))).collect();
+    let specs: Vec<PlanSpec> = plansz[1..3]
+        .iter()
+        .flat_map(|p| thr.iter().map(|&(ta, tb)| p.build(ta, tb)))
+        .collect();
+    let results = measure_batch(&wz.db, &specs, &h.config.measure);
+    let mut skew_tally = ChooserTally::default();
+    for (si, &s) in sels.iter().enumerate() {
+        let (ta, tb) = thr[si];
+        let (inl, hash) = (results[si].seconds, results[ns + si].seconds);
+        let point = choose_plan(
+            &plansz[1..3],
+            ta,
+            tb,
+            &statsz,
+            &SelEstimates::from_histograms(&coarse_a, &coarse_b, ta, tb),
+            model,
+        );
+        let region = uncertainty_region(&jointz, ta, tb);
+        let robust = choose_plan_robust(&plansz[1..3], ta, tb, &statsz, &region, model, &rcfg);
+        let (pq, rq) = skew_tally.add(inl, hash, point, robust);
+        let oracle = if inl <= hash { 0 } else { 1 };
+        csv.push_str(&format!(
+            "zipf,0,{s:e},{s:e},{inl:e},{hash:e},{},{},{},{pq:e},{rq:e}\n",
+            join_names[point],
+            join_names[robust],
+            join_names[oracle],
+        ));
+    }
+    let (pw, rw) = skew_tally.wrong_fracs();
+    report.push_str(&format!(
+        "\nskewed workload (Zipf theta = 1.1, coarse 8-bucket catalog vs joint statistics):\n\
+         point chooser wrong at {:.1}% (worst {:.2}x); robust wrong at {:.1}% (worst {:.2}x)\n",
+        pw * 100.0,
+        skew_tally.point_worst,
+        rw * 100.0,
+        skew_tally.robust_worst,
+    ));
+    suite.check_named(
+        "skewed workload: robust chooser no worse than the coarse-histogram point chooser",
+        skew_tally.robust_wrong <= skew_tally.point_wrong
+            && skew_tally.robust_worst <= skew_tally.point_worst + 1e-9,
+        format!(
+            "wrong {:.1}% vs {:.1}%, worst {:.2}x vs {:.2}x",
+            rw * 100.0,
+            pw * 100.0,
+            skew_tally.robust_worst,
+            skew_tally.point_worst
+        ),
+    );
+
+    report.push_str("\nregression checks over the robust-chooser subsystem:\n");
+    let checks = format!(
+        "{}verdict: {}\n",
+        suite.report(),
+        if suite.passed() { "PASS" } else { "FAIL" }
+    );
+    report.push_str(&checks);
+
+    let files = vec![
+        h.write_artifact("ext_robust_choice.csv", &csv),
+        h.write_artifact("ext_robust_choice_scores.csv", &score_csv(&scores)),
+        h.write_artifact("ext_robust_choice_checks.txt", &checks),
+        h.write_artifact(
+            "ext_robust_choice_point_regret.svg",
+            &heatmap_svg(
+                &point_regret,
+                &m2.sel_a,
+                &m2.sel_b,
+                &relative_scale(),
+                "Point-estimate chooser regret at rho = 1",
+            ),
+        ),
+        h.write_artifact(
+            "ext_robust_choice_robust_regret.svg",
+            &heatmap_svg(
+                &robust_regret,
+                &m2.sel_a,
+                &m2.sel_b,
+                &relative_scale(),
+                "Robust chooser regret at rho = 1",
+            ),
+        ),
+    ];
+    FigureOutput::new("ext_robust_choice", report, files)
 }
 
 /// Buffer pool size as the swept run-time condition (a §3 "resource"

@@ -15,6 +15,7 @@
 //! `benches/` exercise the same code paths at reduced scale so `cargo
 //! bench` regenerates every figure and times the substrate.
 
+pub mod baseline;
 pub mod figures_ext;
 pub mod figures_paper;
 pub mod harness;
@@ -43,6 +44,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_skew",
     "ext_optimizer",
     "ext_correlated",
+    "ext_robust_choice",
     "ext_regression",
 ];
 
@@ -78,6 +80,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_skew" => figures_ext::ext_skew(h),
         "ext_optimizer" => figures_ext::ext_optimizer(h),
         "ext_correlated" => figures_ext::ext_correlated(h),
+        "ext_robust_choice" => figures_ext::ext_robust_choice(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

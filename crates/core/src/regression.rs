@@ -89,6 +89,13 @@ impl RegressionSuite {
         self.results.push(CheckResult { name, passed, details });
     }
 
+    /// Record an externally evaluated check — experiment-specific criteria
+    /// that do not fit the standard map checks (e.g. `ext_robust_choice`'s
+    /// chooser-vs-chooser comparisons), reported and gated alongside them.
+    pub fn check_named(&mut self, name: &str, passed: bool, details: String) {
+        self.push(name.to_string(), passed, details);
+    }
+
     /// Run the 1-D checks on every series of a map: monotonicity and
     /// discontinuities (flattening is reported but informational, since
     /// the paper *expects* some plans to fail it).
@@ -364,6 +371,20 @@ mod tests {
         assert!(suite.passed(), "{}", suite.report());
         let flat = suite.results.iter().find(|r| r.name.contains("flattening")).unwrap();
         assert!(flat.details.contains("steepens"));
+    }
+
+    #[test]
+    fn named_checks_gate_like_standard_ones() {
+        let mut suite = RegressionSuite::new();
+        suite.check_named("robust chooser beats the point chooser", true, "2% vs 55%".into());
+        assert!(suite.passed());
+        suite.check_named("worst regret shrank", false, "14.5x unchanged".into());
+        assert!(!suite.passed());
+        assert_eq!(suite.failures(), 1);
+        let report = suite.report();
+        assert!(report.contains("[PASS] robust chooser beats the point chooser — 2% vs 55%"));
+        assert!(report.contains("[FAIL] worst regret shrank"));
+        assert!(report.contains("2 checks, 1 failed"));
     }
 
     #[test]

@@ -28,11 +28,15 @@
 //! knowing anything about grids.
 
 pub mod optimizer;
+pub mod robust;
 pub mod single_pred;
 pub mod system;
 pub mod two_pred;
 
 pub use optimizer::{choose_plan, estimate_cost, CatalogStats, SelEstimates};
+pub use robust::{
+    choose_plan_robust, choose_plan_with_joint, uncertainty_region, RobustConfig, SelHypothesis,
+};
 pub use single_pred::{single_predicate_plans, SinglePredPlan, SinglePredPlanSet};
 pub use system::{SystemId, SystemInfo};
 pub use two_pred::{two_predicate_plans, TwoPredPlan};

@@ -27,12 +27,46 @@ pub struct SelEstimates {
     pub sel_a: f64,
     /// Estimated selectivity of `b <= tb`.
     pub sel_b: f64,
+    /// Estimated selectivity of the conjunction `a <= ta AND b <= tb`.
+    /// The constructors without joint information fill in
+    /// `sel_a * sel_b` — the textbook independence assumption;
+    /// [`SelEstimates::from_joint`] replaces it with the two-column
+    /// histogram's observed co-occurrence, which is where correlated
+    /// columns stop fooling the cost formulas.
+    pub sel_ab: f64,
+}
+
+/// Clamp a selectivity into `(0, 1]` — the range every cost formula
+/// assumes (`with_error` documented this contract first; the histogram
+/// paths and the robust chooser share it).
+pub(crate) fn clamp_sel(s: f64) -> f64 {
+    s.clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+/// Clamp a joint selectivity into the Fréchet bounds
+/// `[max(0, sel_a + sel_b - 1), min(sel_a, sel_b)]` — the coherence rule
+/// shared by [`SelEstimates::from_joint`] and the robust chooser's
+/// hypothesis grid.  The `.min(hi)` guards the float edge where
+/// `(1 + x) - 1` rounds a hair above `x` and the bounds would cross.
+pub(crate) fn frechet_clamp(sel_a: f64, sel_b: f64, sel_ab: f64) -> f64 {
+    let hi = sel_a.min(sel_b);
+    let lo = (sel_a + sel_b - 1.0).max(f64::MIN_POSITIVE).min(hi);
+    sel_ab.clamp(lo, hi)
 }
 
 impl SelEstimates {
-    /// Exact estimates.
+    /// Independence-assuming estimates from two per-column selectivities
+    /// (clamped to `(0, 1]`).
+    fn independent(sel_a: f64, sel_b: f64) -> Self {
+        let sel_a = clamp_sel(sel_a);
+        let sel_b = clamp_sel(sel_b);
+        SelEstimates { sel_a, sel_b, sel_ab: clamp_sel(sel_a * sel_b) }
+    }
+
+    /// Exact marginal estimates (the conjunction still assumes
+    /// independence — exactly what a single-column catalog knows).
     pub fn exact(sel_a: f64, sel_b: f64) -> Self {
-        SelEstimates { sel_a, sel_b }
+        SelEstimates { sel_a, sel_b, sel_ab: sel_a * sel_b }
     }
 
     /// Estimates distorted by a multiplicative error factor (values are
@@ -40,24 +74,37 @@ impl SelEstimates {
     /// estimates.  This is the run-time condition the paper's motivation
     /// names first: "errors in cardinality estimation".
     pub fn with_error(sel_a: f64, sel_b: f64, error_a: f64, error_b: f64) -> Self {
-        SelEstimates {
-            sel_a: (sel_a * error_a).clamp(f64::MIN_POSITIVE, 1.0),
-            sel_b: (sel_b * error_b).clamp(f64::MIN_POSITIVE, 1.0),
-        }
+        Self::independent(sel_a * error_a, sel_b * error_b)
     }
 
     /// Estimates derived from catalog histograms — how a real optimizer
     /// obtains them.  Error is then governed by bucket count and histogram
-    /// staleness, not injected directly.
+    /// staleness, not injected directly.  Estimates are clamped to
+    /// `(0, 1]` like [`SelEstimates::with_error`]'s (an empty or stale
+    /// histogram can report 0, and the cost formulas divide by these).
     pub fn from_histograms(
         hist_a: &robustmap_workload::EquiDepthHistogram,
         hist_b: &robustmap_workload::EquiDepthHistogram,
         ta: i64,
         tb: i64,
     ) -> Self {
+        Self::independent(hist_a.estimate_at_most(ta), hist_b.estimate_at_most(tb))
+    }
+
+    /// Estimates derived from a two-column [`JointHistogram`]: marginals
+    /// from its per-column histograms, the conjunction from observed
+    /// co-occurrence.  The joint estimate is kept coherent with the
+    /// marginals by clamping into the Fréchet bounds
+    /// `[max(0, sel_a + sel_b - 1), min(sel_a, sel_b)]`.
+    ///
+    /// [`JointHistogram`]: robustmap_workload::JointHistogram
+    pub fn from_joint(joint: &robustmap_workload::JointHistogram, ta: i64, tb: i64) -> Self {
+        let sel_a = clamp_sel(joint.marginal_a().estimate_at_most(ta));
+        let sel_b = clamp_sel(joint.marginal_b().estimate_at_most(tb));
         SelEstimates {
-            sel_a: hist_a.estimate_at_most(ta).max(f64::MIN_POSITIVE),
-            sel_b: hist_b.estimate_at_most(tb).max(f64::MIN_POSITIVE),
+            sel_a,
+            sel_b,
+            sel_ab: frechet_clamp(sel_a, sel_b, joint.estimate_joint_at_most(ta, tb)),
         }
     }
 }
@@ -99,7 +146,7 @@ pub fn estimate_cost(
     model: &CostModel,
 ) -> f64 {
     let rows = stats.rows;
-    let result_rows = est.sel_a * est.sel_b * rows;
+    let result_rows = est.sel_ab * rows;
     match spec {
         PlanSpec::TableScan { .. } => {
             stats.heap_pages * model.seq_page_read + rows * (model.cpu_row + model.cpu_compare)
@@ -289,6 +336,45 @@ mod tests {
         let est = SelEstimates::with_error(0.5, 0.5, 1e9, 1e-30);
         assert!(est.sel_a <= 1.0);
         assert!(est.sel_b > 0.0);
+        assert!(est.sel_ab > 0.0 && est.sel_ab <= 1.0);
+    }
+
+    #[test]
+    fn from_histograms_clamps_out_of_range_estimates_into_unit_interval() {
+        use robustmap_workload::EquiDepthHistogram;
+        // An empty histogram estimates 0.0 — outside the (0, 1] range the
+        // cost formulas divide by — and must clamp to MIN_POSITIVE on
+        // both sides, exactly like `with_error` does.
+        let empty = EquiDepthHistogram::build(vec![], 4);
+        let full = EquiDepthHistogram::build((0..100).collect(), 4);
+        let est = SelEstimates::from_histograms(&empty, &full, 50, 1_000);
+        assert!(est.sel_a > 0.0 && est.sel_a <= 1.0, "lower clamp: {}", est.sel_a);
+        assert_eq!(est.sel_b, 1.0, "upper clamp keeps a full-range estimate at 1");
+        assert!(est.sel_ab > 0.0 && est.sel_ab <= 1.0);
+        // Both columns out of range at once.
+        let est = SelEstimates::from_histograms(&empty, &empty, 50, 50);
+        assert!(est.sel_a > 0.0 && est.sel_b > 0.0 && est.sel_ab > 0.0);
+    }
+
+    #[test]
+    fn joint_estimates_capture_correlation_that_independence_misses() {
+        use robustmap_workload::gen::PredicateDistribution;
+        use robustmap_workload::{JointHistogram, JointHistogramConfig, TableBuilder, WorkloadConfig};
+        let w = TableBuilder::build(WorkloadConfig {
+            rows: 1 << 14,
+            seed: 23,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+        });
+        let joint = JointHistogram::from_workload(&w, &JointHistogramConfig::default());
+        let (ta, tb) = (w.cal_a.threshold(0.25), w.cal_b.threshold(0.25));
+        let est = SelEstimates::from_joint(&joint, ta, tb);
+        // Marginals track the per-column truth; the conjunction tracks the
+        // diagonal (b == a), not the independence product 0.0625.
+        assert!((est.sel_a - 0.25).abs() < 0.03, "sel_a {}", est.sel_a);
+        assert!((est.sel_b - 0.25).abs() < 0.05, "sel_b {}", est.sel_b);
+        assert!(est.sel_ab > 0.18, "joint {} should be near 0.25, not 0.0625", est.sel_ab);
+        // Coherence: within the Fréchet bounds.
+        assert!(est.sel_ab <= est.sel_a.min(est.sel_b) + 1e-12);
     }
 
     #[test]

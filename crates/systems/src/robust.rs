@@ -1,0 +1,281 @@
+//! Penalty-aware robust plan selection under estimation uncertainty.
+//!
+//! [`crate::optimizer::choose_plan`] is the textbook chooser: argmin of
+//! estimated cost at the *point* estimate.  The `ext_correlated`
+//! experiment showed how that fails — feed it a cardinality that is wrong
+//! by `rho / s` and it freezes on the wrong join across the whole
+//! correlation sweep.  Modern robust-plan work (PARQO's penalty-aware
+//! selection, Xiu et al. 2024; probabilistic plan evaluation, Kamali et
+//! al. 2024) replaces the point with an *uncertainty region*: evaluate
+//! every candidate over a set of selectivity hypotheses weighted by how
+//! plausible the statistics make them, and pick the plan minimizing
+//!
+//! ```text
+//! expected cost + penalty_weight * cost at the tail quantile
+//! ```
+//!
+//! The tail term is the penalty-awareness: a plan that is cheap at the
+//! estimate but catastrophic one histogram bucket away carries its
+//! catastrophe into the score, while a flat (robust) plan is scored at
+//! roughly its point cost.  With a single hypothesis and
+//! `penalty_weight = 0` the robust chooser degenerates to `choose_plan`
+//! exactly (unit-tested below).
+//!
+//! The hypothesis set comes from [`uncertainty_region`]: a 3 × 3 credible
+//! box around the [`JointHistogram`]'s estimate, one marginal-bucket
+//! resolution wide per axis — the statistics cannot distinguish
+//! selectivities closer than a bucket, so that is exactly the region the
+//! chooser should hedge over.  Each hypothesis keeps the histogram's
+//! observed correlation lift (`sel_ab / (sel_a * sel_b)`) and stays inside
+//! the Fréchet bounds, so the region never hypothesises an incoherent
+//! joint selectivity.
+
+use robustmap_storage::CostModel;
+use robustmap_workload::JointHistogram;
+
+use crate::optimizer::{clamp_sel, estimate_cost, frechet_clamp, CatalogStats, SelEstimates};
+use crate::two_pred::TwoPredPlan;
+
+/// Tuning knobs of the robust chooser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Quantile of the hypothesis cost distribution charged as the tail
+    /// term (`0.9` = the cost the plan runs into in the worst decile of
+    /// the credible region).
+    pub tail_quantile: f64,
+    /// Weight of the tail term added to the expected cost; `0` recovers
+    /// pure expected-cost selection.
+    pub penalty_weight: f64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig { tail_quantile: 0.9, penalty_weight: 0.5 }
+    }
+}
+
+/// One selectivity hypothesis with its plausibility weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelHypothesis {
+    /// The hypothesised selectivities.
+    pub est: SelEstimates,
+    /// Plausibility weight (a region's weights sum to 1).
+    pub weight: f64,
+}
+
+/// The credible box of selectivity hypotheses around the joint
+/// histogram's estimate at `(ta, tb)`: a 3 × 3 grid spanning ± one
+/// marginal-bucket resolution per axis, triangular weights
+/// (¼, ½, ¼ per axis), center = [`SelEstimates::from_joint`].
+pub fn uncertainty_region(joint: &JointHistogram, ta: i64, tb: i64) -> Vec<SelHypothesis> {
+    let center = SelEstimates::from_joint(joint, ta, tb);
+    // The statistics' observed dependence, carried across the box: the
+    // lift is what the histogram knows beyond the marginals.
+    let lift = center.sel_ab / (center.sel_a * center.sel_b);
+    let axis = |s0: f64, r: f64| {
+        [(clamp_sel(s0 - r), 0.25), (s0, 0.5), (clamp_sel(s0 + r), 0.25)]
+    };
+    let mut region = Vec::with_capacity(9);
+    for (sa, wa) in axis(center.sel_a, joint.resolution_a()) {
+        for (sb, wb) in axis(center.sel_b, joint.resolution_b()) {
+            let est = if sa == center.sel_a && sb == center.sel_b {
+                center // the exact histogram estimate, not a lift round-trip
+            } else {
+                SelEstimates { sel_a: sa, sel_b: sb, sel_ab: frechet_clamp(sa, sb, lift * sa * sb) }
+            };
+            region.push(SelHypothesis { est, weight: wa * wb });
+        }
+    }
+    region
+}
+
+/// Expected and tail-quantile estimated cost of one plan over a weighted
+/// hypothesis region.
+pub fn region_cost(
+    plan: &TwoPredPlan,
+    ta: i64,
+    tb: i64,
+    stats: &CatalogStats,
+    region: &[SelHypothesis],
+    model: &CostModel,
+    cfg: &RobustConfig,
+) -> (f64, f64) {
+    assert!(!region.is_empty(), "empty uncertainty region");
+    let spec = plan.build(ta, tb);
+    let mut costs: Vec<(f64, f64)> = region
+        .iter()
+        .map(|h| (estimate_cost(&spec, stats, &h.est, model), h.weight))
+        .collect();
+    let total_w: f64 = costs.iter().map(|&(_, w)| w).sum();
+    let expected = costs.iter().map(|&(c, w)| c * w).sum::<f64>() / total_w;
+    costs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimated costs"));
+    let mut acc = 0.0;
+    let mut tail = costs.last().expect("nonempty").0;
+    for &(c, w) in &costs {
+        acc += w / total_w;
+        if acc >= cfg.tail_quantile {
+            tail = c;
+            break;
+        }
+    }
+    (expected, tail)
+}
+
+/// The robust chooser: return the index of the plan minimizing
+/// `expected + penalty_weight * tail` over the hypothesis region (ties
+/// break to the lower index, deterministically, like
+/// [`crate::optimizer::choose_plan`]).
+pub fn choose_plan_robust(
+    plans: &[TwoPredPlan],
+    ta: i64,
+    tb: i64,
+    stats: &CatalogStats,
+    region: &[SelHypothesis],
+    model: &CostModel,
+    cfg: &RobustConfig,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f64::INFINITY;
+    for (i, plan) in plans.iter().enumerate() {
+        let (expected, tail) = region_cost(plan, ta, tb, stats, region, model, cfg);
+        let score = expected + cfg.penalty_weight * tail;
+        if score < best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Convenience: build the [`uncertainty_region`] from `joint` at
+/// `(ta, tb)` and run [`choose_plan_robust`] over it.
+pub fn choose_plan_with_joint(
+    plans: &[TwoPredPlan],
+    ta: i64,
+    tb: i64,
+    stats: &CatalogStats,
+    joint: &JointHistogram,
+    model: &CostModel,
+    cfg: &RobustConfig,
+) -> usize {
+    let region = uncertainty_region(joint, ta, tb);
+    choose_plan_robust(plans, ta, tb, stats, &region, model, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::choose_plan;
+    use crate::two_pred::two_predicate_plans;
+    use crate::SystemId;
+    use robustmap_workload::gen::PredicateDistribution;
+    use robustmap_workload::{JointHistogramConfig, TableBuilder, WorkloadConfig};
+
+    fn setup() -> (robustmap_workload::Workload, CatalogStats, CostModel) {
+        let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 16));
+        let stats = CatalogStats::of(&w);
+        (w, stats, CostModel::hdd_2009())
+    }
+
+    #[test]
+    fn single_hypothesis_no_penalty_degenerates_to_the_point_chooser() {
+        let (w, stats, model) = setup();
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let cfg = RobustConfig { tail_quantile: 1.0, penalty_weight: 0.0 };
+        for sel in [0.001, 0.05, 0.5, 1.0] {
+            let (ta, tb) = (w.cal_a.threshold(sel), w.cal_b.threshold(sel));
+            let est = SelEstimates::exact(sel, sel);
+            let region = [SelHypothesis { est, weight: 1.0 }];
+            let point = choose_plan(&plans, ta, tb, &stats, &est, &model);
+            let robust = choose_plan_robust(&plans, ta, tb, &stats, &region, &model, &cfg);
+            assert_eq!(point, robust, "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn tail_penalty_hedges_against_the_catastrophic_hypothesis() {
+        // The point estimate says "tiny result" (index-fetch territory),
+        // but a minority hypothesis says "everything qualifies" — where a
+        // per-row fetch plan is catastrophic and the table scan is flat.
+        // Expected cost alone keeps the index plan; the tail penalty must
+        // flip the choice to a plan that survives the bad hypothesis.
+        let (w, stats, model) = setup();
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let (ta, tb) = (w.cal_a.threshold(0.3), w.cal_b.threshold(0.3));
+        let region = [
+            SelHypothesis { est: SelEstimates::exact(0.001, 0.001), weight: 0.93 },
+            SelHypothesis { est: SelEstimates::exact(1.0, 1.0), weight: 0.07 },
+        ];
+        let expected_only = RobustConfig { tail_quantile: 0.95, penalty_weight: 0.0 };
+        let penalised = RobustConfig { tail_quantile: 0.95, penalty_weight: 10.0 };
+        let lean = choose_plan_robust(&plans, ta, tb, &stats, &region, &model, &expected_only);
+        let hedged = choose_plan_robust(&plans, ta, tb, &stats, &region, &model, &penalised);
+        // The hedged choice must never have a worse tail than the lean one
+        // (that is the penalty's whole point), and on this region it is a
+        // strictly different, tail-safer plan.
+        let (_, lean_tail) = region_cost(&plans[lean], ta, tb, &stats, &region, &model, &penalised);
+        let (_, hedged_tail) =
+            region_cost(&plans[hedged], ta, tb, &stats, &region, &model, &penalised);
+        assert!(hedged_tail <= lean_tail, "{lean_tail} vs {hedged_tail}");
+        assert_ne!(
+            plans[lean].name, plans[hedged].name,
+            "the penalty should flip this constructed choice"
+        );
+    }
+
+    #[test]
+    fn uncertainty_region_is_a_coherent_probability_box() {
+        let w = TableBuilder::build(WorkloadConfig {
+            rows: 1 << 14,
+            seed: 31,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(75),
+        });
+        let joint = robustmap_workload::JointHistogram::from_workload(
+            &w,
+            &JointHistogramConfig::default(),
+        );
+        for sel in [0.01, 0.25, 0.9] {
+            let (ta, tb) = (w.cal_a.threshold(sel), w.cal_b.threshold(sel));
+            let region = uncertainty_region(&joint, ta, tb);
+            assert_eq!(region.len(), 9);
+            let wsum: f64 = region.iter().map(|h| h.weight).sum();
+            assert!((wsum - 1.0).abs() < 1e-12, "weights sum to {wsum}");
+            let center = SelEstimates::from_joint(&joint, ta, tb);
+            assert!(region.iter().any(|h| h.est == center), "center hypothesis present");
+            for h in &region {
+                assert!(h.est.sel_a > 0.0 && h.est.sel_a <= 1.0);
+                assert!(h.est.sel_b > 0.0 && h.est.sel_b <= 1.0);
+                assert!(h.est.sel_ab <= h.est.sel_a.min(h.est.sel_b) + 1e-12);
+                assert!(h.est.sel_ab >= (h.est.sel_a + h.est.sel_b - 1.0) - 1e-12);
+                assert!(h.weight > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn region_cost_is_finite_and_tail_dominates_expectation_quantile() {
+        let (w, stats, model) = setup();
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let joint = robustmap_workload::JointHistogram::from_workload(
+            &w,
+            &JointHistogramConfig::default(),
+        );
+        let (ta, tb) = (w.cal_a.threshold(0.1), w.cal_b.threshold(0.1));
+        let region = uncertainty_region(&joint, ta, tb);
+        let cfg = RobustConfig::default();
+        for plan in &plans {
+            let (expected, tail) = region_cost(plan, ta, tb, &stats, &region, &model, &cfg);
+            assert!(expected.is_finite() && expected > 0.0, "{}", plan.name);
+            assert!(tail.is_finite() && tail > 0.0, "{}", plan.name);
+            // The 0.9-quantile can sit below the mean only when the mean is
+            // dragged by a >0.1-mass upper tail; with triangular weights the
+            // tail is at least the median cost.
+            let mut costs: Vec<f64> = region
+                .iter()
+                .map(|h| estimate_cost(&plan.build(ta, tb), &stats, &h.est, &model))
+                .collect();
+            costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert!(tail >= costs[costs.len() / 2], "{}", plan.name);
+        }
+    }
+}

@@ -133,7 +133,7 @@ pub fn cache_dir() -> Option<PathBuf> {
 }
 
 /// 64-bit FNV-1a (byte-wise; used for the small config hash).
-fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     let mut h = state;
     for &b in bytes {
         h ^= b as u64;
@@ -145,7 +145,7 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a folded over 8-byte words — the payload checksum.  The cache file
 /// is hundreds of megabytes at full scale; a byte-wise pass would cost a
 /// noticeable fraction of the build time it is meant to save.
-fn checksum64(bytes: &[u8]) -> u64 {
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
     let mut h = FNV_SEED;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
@@ -155,7 +155,7 @@ fn checksum64(bytes: &[u8]) -> u64 {
     fnv1a(h, chunks.remainder())
 }
 
-const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 fn dist_code(d: PredicateDistribution) -> (u64, u64) {
     match d {
@@ -184,24 +184,24 @@ pub fn cache_path(config: &WorkloadConfig) -> Option<PathBuf> {
 
 // ---------------------------------------------------------------- writing
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
 }
@@ -252,9 +252,16 @@ pub fn store(w: &Workload) {
         }
     }
 
-    let checksum = checksum64(&out.buf);
-    out.u64(checksum);
+    write_cache_file(&path, out.buf);
+}
 
+/// Append the payload checksum and install `payload` at `path` atomically
+/// (temp file + rename), then prune the directory to the size budget.
+/// Shared by the workload cache and the joint-statistics cache
+/// ([`crate::stats`]); best-effort like every cache write.
+pub(crate) fn write_cache_file(path: &Path, mut payload: Vec<u8>) {
+    let checksum = checksum64(&payload);
+    payload.extend_from_slice(&checksum.to_le_bytes());
     let write = || -> std::io::Result<()> {
         std::fs::create_dir_all(path.parent().expect("cache file has a directory"))?;
         // The temp name must be unique per *call*, not just per process:
@@ -264,14 +271,33 @@ pub fn store(w: &Workload) {
         static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, &out.buf)?;
-        std::fs::rename(&tmp, &path)
+        std::fs::write(&tmp, &payload)?;
+        std::fs::rename(&tmp, path)
     };
     if let Err(e) = write() {
         eprintln!("workload cache: could not write {}: {e}", path.display());
     } else if let (Some(budget), Some(dir)) = (cache_budget(), path.parent()) {
-        prune_to_budget(dir, budget, &path);
+        prune_to_budget(dir, budget, path);
     }
+}
+
+/// Read a cache file written by [`write_cache_file`], validate its
+/// trailing checksum, refresh its LRU recency, and return the payload
+/// (checksum stripped) — or `None` for a missing, truncated or corrupt
+/// file.
+pub(crate) fn read_cache_file(path: &Path) -> Option<Vec<u8>> {
+    let mut data = std::fs::read(path).ok()?;
+    if data.len() < 8 {
+        return None;
+    }
+    let tail_at = data.len() - 8;
+    let tail = u64::from_le_bytes(data[tail_at..].try_into().expect("8 bytes"));
+    if checksum64(&data[..tail_at]) != tail {
+        return None;
+    }
+    data.truncate(tail_at);
+    touch(path); // refresh LRU recency only for files that validated
+    Some(data)
 }
 
 /// Delete least-recently-used cache files (mtime order, ties broken by
@@ -341,23 +367,23 @@ fn index_id_at(w: &Workload, slot: usize) -> robustmap_storage::IndexId {
 
 // ---------------------------------------------------------------- reading
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    at: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let slice = self.buf.get(self.at..self.at + n)?;
         self.at += n;
         Some(slice)
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn i64(&mut self) -> Option<i64> {
+    pub(crate) fn i64(&mut self) -> Option<i64> {
         Some(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -366,19 +392,13 @@ impl<'a> Reader<'a> {
 /// caching disabled, or a file that fails validation).
 pub fn load(config: &WorkloadConfig) -> Option<Workload> {
     let path = cache_path(config)?;
-    let data = std::fs::read(&path).ok()?;
-    let workload = parse(&data, config)?;
-    touch(&path); // refresh LRU recency only for files that actually served
-    Some(workload)
+    // Trailing checksum first: catches truncation and corruption cheaply.
+    let payload = read_cache_file(&path)?;
+    parse(&payload, config)
 }
 
-fn parse(data: &[u8], config: &WorkloadConfig) -> Option<Workload> {
-    // Trailing checksum first: catches truncation and corruption cheaply.
-    if data.len() < MAGIC.len() + 8 {
-        return None;
-    }
-    let (payload, tail) = data.split_at(data.len() - 8);
-    if checksum64(payload) != u64::from_le_bytes(tail.try_into().expect("8 bytes")) {
+fn parse(payload: &[u8], config: &WorkloadConfig) -> Option<Workload> {
+    if payload.len() < MAGIC.len() {
         return None;
     }
     let mut r = Reader { buf: payload, at: 0 };

@@ -24,6 +24,15 @@ pub struct EquiDepthHistogram {
 impl EquiDepthHistogram {
     /// Build from column values with the given bucket count.
     ///
+    /// Bucket boundaries are found by recursive rank selection
+    /// ([`slice::select_nth_unstable`] on the median boundary, then on each
+    /// half), which is O(n log buckets) — a full sort of the column would
+    /// be O(n log n), a noticeable cost when catalog statistics are built
+    /// over 2^20-row tables.  The boundaries are the values the sorted
+    /// column holds at the boundary ranks, so the result is identical to
+    /// the sort-based build (`selection_build_matches_the_full_sort_build`
+    /// pins this).
+    ///
     /// # Panics
     /// Panics if `buckets == 0`.
     pub fn build(mut values: Vec<i64>, buckets: usize) -> Self {
@@ -31,17 +40,17 @@ impl EquiDepthHistogram {
         if values.is_empty() {
             return EquiDepthHistogram { upper_bounds: vec![0], rows: 0, min: 0 };
         }
-        values.sort_unstable();
         let n = values.len();
         let per_bucket = n.div_ceil(buckets).max(1);
-        let mut upper_bounds = Vec::with_capacity(buckets);
-        let mut i = per_bucket;
-        while i < n {
-            upper_bounds.push(values[i - 1]);
-            i += per_bucket;
-        }
-        upper_bounds.push(values[n - 1]);
-        EquiDepthHistogram { upper_bounds, rows: n as u64, min: values[0] }
+        // Boundary ranks in the sorted order: every per_bucket-th value,
+        // plus the maximum — strictly ascending by construction.
+        let mut ranks: Vec<usize> =
+            (1..).map(|k| k * per_bucket - 1).take_while(|&r| r + 1 < n).collect();
+        ranks.push(n - 1);
+        let min = *values.iter().min().expect("nonempty");
+        let mut upper_bounds = vec![0i64; ranks.len()];
+        multiselect(&mut values, 0, &ranks, &mut upper_bounds);
+        EquiDepthHistogram { upper_bounds, rows: n as u64, min }
     }
 
     /// Build from every `step`-th value — a stale/sampled histogram, the
@@ -91,6 +100,33 @@ impl EquiDepthHistogram {
     pub fn estimate_rows_at_most(&self, t: i64) -> f64 {
         self.estimate_at_most(t) * self.rows as f64
     }
+
+    /// The histogram's internals, for the statistics cache's store path.
+    pub(crate) fn parts(&self) -> (&[i64], u64, i64) {
+        (&self.upper_bounds, self.rows, self.min)
+    }
+
+    /// Reassemble from [`EquiDepthHistogram::parts`] (the statistics
+    /// cache's load path).
+    pub(crate) fn from_parts(upper_bounds: Vec<i64>, rows: u64, min: i64) -> Self {
+        EquiDepthHistogram { upper_bounds, rows, min }
+    }
+}
+
+/// Write the values at the ascending absolute `ranks` of the sorted order
+/// of `values` (whose first element has absolute rank `base`) into `out`,
+/// by selecting the median rank and recursing into the partitions
+/// `select_nth_unstable` leaves behind.
+fn multiselect(values: &mut [i64], base: usize, ranks: &[usize], out: &mut [i64]) {
+    if ranks.is_empty() {
+        return;
+    }
+    let mid = ranks.len() / 2;
+    let k = ranks[mid] - base;
+    let (lo, v, hi) = values.select_nth_unstable(k);
+    out[mid] = *v;
+    multiselect(lo, base, &ranks[..mid], &mut out[..mid]);
+    multiselect(hi, base + k + 1, &ranks[mid + 1..], &mut out[mid + 1..]);
 }
 
 #[cfg(test)]
@@ -168,6 +204,49 @@ mod tests {
         assert_eq!(h.estimate_at_most(1000), 1.0);
         let mid = h.estimate_at_most(20);
         assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn selection_build_matches_the_full_sort_build() {
+        // The selection-based build must reproduce the sort-based build
+        // exactly — same boundaries, same estimates — for duplicates,
+        // negatives, skew, and bucket counts beyond the value count.
+        let mut z = Zipf::new(512, 1.1, 13);
+        let cases: Vec<Vec<i64>> = vec![
+            (0..10_000).collect(),
+            (0..10_000).rev().collect(),
+            vec![7; 1000],
+            vec![-5, 3, -5, 3, 0, 100, -200],
+            (0..30_000).map(|i| z.value(i)).collect(),
+        ];
+        for values in cases {
+            for buckets in [1usize, 3, 7, 64, 1000] {
+                let h = EquiDepthHistogram::build(values.clone(), buckets);
+                // The sort-based reference, computed the pre-selection way.
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                let n = sorted.len();
+                let per_bucket = n.div_ceil(buckets).max(1);
+                let mut reference = Vec::new();
+                let mut i = per_bucket;
+                while i < n {
+                    reference.push(sorted[i - 1]);
+                    i += per_bucket;
+                }
+                reference.push(sorted[n - 1]);
+                assert_eq!(h.upper_bounds, reference, "{buckets} buckets");
+                assert_eq!(h.min, sorted[0]);
+                assert_eq!(h.rows, n as u64);
+                for &t in &[sorted[0] - 1, sorted[0], sorted[n / 2], sorted[n - 1], i64::MAX] {
+                    let exact = sorted.partition_point(|&v| v <= t) as f64 / n as f64;
+                    let est = h.estimate_at_most(t);
+                    assert!(
+                        (est - exact).abs() <= 1.5 / buckets.min(n) as f64 + 1e-12,
+                        "{buckets} buckets, t={t}: est {est:.4} vs exact {exact:.4}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

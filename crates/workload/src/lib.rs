@@ -21,12 +21,17 @@
 //! [`TableBuilder`] assembles the database: the heap, the five indexes the
 //! paper's thirteen plans need (`a`, `b`, `c`, `(a,b)`, `(b,a)`), and the
 //! calibrators.
+//!
+//! [`stats::JointHistogram`] adds the multi-column catalog statistics a
+//! correlation-aware optimizer estimates from — a sample-backed 2-D
+//! equi-depth histogram over `(a, b)`, cached alongside the workloads.
 
 pub mod cache;
 pub mod calib;
 pub mod dist;
 pub mod gen;
 pub mod histogram;
+pub mod stats;
 
 pub use calib::Calibrator;
 pub use histogram::EquiDepthHistogram;
@@ -34,3 +39,4 @@ pub use dist::{Correlated, Distribution, Permutation, Uniform, Zipf};
 pub use gen::{
     TableBuilder, Workload, WorkloadConfig, COL_A, COL_B, COL_C, COL_ORDERKEY, COL_PAYLOAD,
 };
+pub use stats::{JointHistogram, JointHistogramConfig};

@@ -1,0 +1,517 @@
+//! Multi-column (joint) statistics: the catalog artifact that retires the
+//! independence assumption.
+//!
+//! The `ext_correlated` experiment showed the failure mode the paper opens
+//! with, reproduced in our own optimizer: a chooser fed per-column
+//! selectivities estimates the conjunction `a <= ta AND b <= tb` as
+//! `sel_a * sel_b`, which under correlation is wrong by up to `rho / s` —
+//! and the wrong cardinality feeds *every* cost formula.  A
+//! [`JointHistogram`] is the classic fix: a 2-D equi-depth histogram over
+//! `(a, b)`, built from a deterministic seeded row sample, answering
+//! [`JointHistogram::estimate_joint_at_most`] directly from observed
+//! co-occurrence instead of from a product of marginals.
+//!
+//! ## Shape
+//!
+//! The sample is partitioned into `a_buckets` equi-depth buckets by `a`;
+//! each bucket carries a 1-D [`EquiDepthHistogram`] over the `b` values of
+//! *its own rows* — a conditional distribution P(b | a-bucket).  A joint
+//! estimate sums fully covered buckets (interpolating inside the boundary
+//! bucket, exactly like the 1-D estimator) weighted by each bucket's
+//! conditional `b` estimate.  Marginal histograms over the same sample are
+//! kept alongside, so one build serves both the joint and the per-column
+//! estimates (and the two agree within bucket resolution — property-tested
+//! in `tests/prop_stats.rs`).
+//!
+//! ## Determinism and caching
+//!
+//! The row sample is a pure function of `(stats seed, workload seed, row
+//! index)` — a splitmix-style hash draw per row, never a stateful RNG — so
+//! builds are bit-identical across runs and machines.  Like workloads,
+//! built statistics are content-addressed into the workload cache
+//! directory ([`JointHistogram::build_cached`]): the file name hashes the
+//! workload configuration and every statistics parameter, and the `wl-`
+//! prefix keeps the files under the cache's LRU size budget.
+
+use std::path::PathBuf;
+
+use robustmap_storage::Session;
+
+use crate::cache::{self, Reader, Writer, FNV_SEED};
+use crate::gen::{Workload, WorkloadConfig, COL_A, COL_B};
+use crate::histogram::EquiDepthHistogram;
+
+/// Parameters of a [`JointHistogram`] build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JointHistogramConfig {
+    /// Equi-depth buckets over `a` (the conditional partition and the
+    /// marginal `a` histogram share this count).
+    pub a_buckets: usize,
+    /// Buckets of each per-`a`-bucket conditional `b` histogram (the
+    /// marginal `b` histogram uses `a_buckets` like a 1-D catalog would).
+    pub b_buckets: usize,
+    /// Target sample size in rows; tables at most this large are read in
+    /// full.
+    pub sample_target: u64,
+    /// Sampling seed (mixed with the workload's seed per draw).
+    pub seed: u64,
+}
+
+impl Default for JointHistogramConfig {
+    fn default() -> Self {
+        JointHistogramConfig {
+            a_buckets: 64,
+            b_buckets: 16,
+            sample_target: 1 << 16,
+            seed: 0x57A7_5EED,
+        }
+    }
+}
+
+/// A sample-backed 2-D equi-depth histogram over the predicate columns
+/// `(a, b)`, with marginals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointHistogram {
+    config: JointHistogramConfig,
+    /// Rows represented (the full table, not the sample).
+    rows: u64,
+    /// Rows actually sampled.
+    sample_rows: u64,
+    /// Minimum sampled `a` value.
+    min_a: i64,
+    /// Upper bound (inclusive) of each `a` bucket, ascending.
+    a_bounds: Vec<i64>,
+    /// Sample rows in each `a` bucket (equi-depth up to the remainder).
+    a_counts: Vec<u64>,
+    /// Conditional `b` histogram of each `a` bucket.
+    cond_b: Vec<EquiDepthHistogram>,
+    /// Marginal histogram over `a` (same sample, same bucket count).
+    hist_a: EquiDepthHistogram,
+    /// Marginal histogram over `b`.
+    hist_b: EquiDepthHistogram,
+}
+
+/// A splitmix64-style finalizer: the per-row sampling draw.
+fn draw(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl JointHistogram {
+    /// Build from explicit `(a, b)` sample pairs representing a table of
+    /// `rows` rows.  [`JointHistogram::from_workload`] is the usual entry;
+    /// this one exists for tests and synthetic data.
+    ///
+    /// # Panics
+    /// Panics if either bucket count in `config` is zero.
+    pub fn build(mut pairs: Vec<(i64, i64)>, rows: u64, config: JointHistogramConfig) -> Self {
+        assert!(config.a_buckets > 0 && config.b_buckets > 0, "need at least one bucket");
+        let m = pairs.len();
+        let hist_b = EquiDepthHistogram::build(pairs.iter().map(|p| p.1).collect(), config.a_buckets);
+        if m == 0 {
+            return JointHistogram {
+                config,
+                rows,
+                sample_rows: 0,
+                min_a: 0,
+                a_bounds: vec![0],
+                a_counts: vec![0],
+                cond_b: vec![EquiDepthHistogram::build(vec![], config.b_buckets)],
+                hist_a: EquiDepthHistogram::build(vec![], config.a_buckets),
+                hist_b,
+            };
+        }
+        // Equi-depth partition by `a`: the same chunking rule as the 1-D
+        // build, so `a_bounds` coincide with the marginal's boundaries.
+        pairs.sort_unstable();
+        let per_bucket = m.div_ceil(config.a_buckets).max(1);
+        let mut a_bounds = Vec::new();
+        let mut a_counts = Vec::new();
+        let mut cond_b = Vec::new();
+        let mut at = 0usize;
+        while at < m {
+            let end = (at + per_bucket).min(m);
+            a_bounds.push(pairs[end - 1].0);
+            a_counts.push((end - at) as u64);
+            cond_b.push(EquiDepthHistogram::build(
+                pairs[at..end].iter().map(|p| p.1).collect(),
+                config.b_buckets,
+            ));
+            at = end;
+        }
+        // The marginal `a` histogram is exactly the partition's boundaries
+        // over the same sorted sample — assemble it from parts instead of
+        // paying a second selection pass (`prop_stats.rs` pins the
+        // equivalence against a directly built 1-D histogram).
+        let hist_a = EquiDepthHistogram::from_parts(a_bounds.clone(), m as u64, pairs[0].0);
+        JointHistogram {
+            config,
+            rows,
+            sample_rows: m as u64,
+            min_a: pairs[0].0,
+            a_bounds,
+            a_counts,
+            cond_b,
+            hist_a,
+            hist_b,
+        }
+    }
+
+    /// Build from a deterministic seeded sample of the workload's heap —
+    /// the way a statistics job would gather it.
+    pub fn from_workload(w: &Workload, config: &JointHistogramConfig) -> Self {
+        let n = w.rows();
+        let stride = (n / config.sample_target.max(1)).max(1);
+        let seed = config.seed ^ w.config.seed.rotate_left(17);
+        let s = Session::with_pool_pages(0);
+        let mut pairs = Vec::with_capacity((n / stride) as usize + 1);
+        let mut i = 0u64;
+        w.db.table(w.table).heap.scan(&s, |_, row| {
+            if stride == 1 || draw(seed, i).is_multiple_of(stride) {
+                pairs.push((row.get(COL_A), row.get(COL_B)));
+            }
+            i += 1;
+        });
+        Self::build(pairs, n, *config)
+    }
+
+    /// [`JointHistogram::from_workload`] behind the workload cache: a hit
+    /// deserializes the statistics bit-identically, a miss builds and
+    /// stores them.  Same directory, budget and environment overrides as
+    /// the workload cache itself.
+    pub fn build_cached(w: &Workload, config: &JointHistogramConfig) -> Self {
+        if let Some(h) = load(&w.config, config) {
+            return h;
+        }
+        let h = Self::from_workload(w, config);
+        store(&w.config, &h);
+        h
+    }
+
+    /// Rows the statistics represent (the full table).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Rows actually sampled.
+    pub fn sample_rows(&self) -> u64 {
+        self.sample_rows
+    }
+
+    /// The build parameters.
+    pub fn config(&self) -> &JointHistogramConfig {
+        &self.config
+    }
+
+    /// The marginal histogram over `a`.
+    pub fn marginal_a(&self) -> &EquiDepthHistogram {
+        &self.hist_a
+    }
+
+    /// The marginal histogram over `b`.
+    pub fn marginal_b(&self) -> &EquiDepthHistogram {
+        &self.hist_b
+    }
+
+    /// Selectivity resolution of the `a` axis: one marginal bucket.
+    pub fn resolution_a(&self) -> f64 {
+        1.0 / self.hist_a.bucket_count() as f64
+    }
+
+    /// Selectivity resolution of the `b` axis: one marginal bucket.
+    pub fn resolution_b(&self) -> f64 {
+        1.0 / self.hist_b.bucket_count() as f64
+    }
+
+    /// Estimated selectivity of the conjunction `a <= ta AND b <= tb`,
+    /// from observed co-occurrence — no independence assumption.
+    pub fn estimate_joint_at_most(&self, ta: i64, tb: i64) -> f64 {
+        if self.sample_rows == 0 || ta < self.min_a {
+            return 0.0;
+        }
+        let m = self.sample_rows as f64;
+        // `a` buckets fully below ta (duplicated bounds make this a
+        // partition point, as in the 1-D estimator).
+        let k = self.a_bounds.partition_point(|&ub| ub <= ta);
+        let mut p = 0.0;
+        for i in 0..k {
+            p += self.a_counts[i] as f64 / m * self.cond_b[i].estimate_at_most(tb);
+        }
+        if k < self.a_bounds.len() {
+            let lo = if k == 0 { self.min_a } else { self.a_bounds[k - 1] };
+            let hi = self.a_bounds[k];
+            let within =
+                if hi > lo { (ta - lo) as f64 / (hi - lo) as f64 } else { 0.0 };
+            p += within.clamp(0.0, 1.0) * self.a_counts[k] as f64 / m
+                * self.cond_b[k].estimate_at_most(tb);
+        }
+        p.clamp(0.0, 1.0)
+    }
+}
+
+// ------------------------------------------------------------- the cache
+
+const STATS_MAGIC: &[u8; 8] = b"RMJS\x01\0\0\0";
+/// Bump on any change to the sampling rule, the partition rule, or the
+/// serialized layout — the version is part of the content hash, so a bump
+/// makes every old statistics file miss and rebuild.
+const STATS_VERSION: u64 = 1;
+
+/// The file a `(workload, statistics)` configuration pair is cached at, or
+/// `None` when caching is disabled.  The `wl-` prefix keeps statistics
+/// files inside the workload cache's LRU size budget.
+pub fn stats_cache_path(wl: &WorkloadConfig, cfg: &JointHistogramConfig) -> Option<PathBuf> {
+    let mut h = FNV_SEED;
+    for word in [
+        STATS_VERSION,
+        cache::config_hash(wl),
+        cfg.a_buckets as u64,
+        cfg.b_buckets as u64,
+        cfg.sample_target,
+        cfg.seed,
+    ] {
+        h = cache::fnv1a(h, &word.to_le_bytes());
+    }
+    cache::cache_dir().map(|d| d.join(format!("wl-jstats-{}-{h:016x}.bin", wl.rows)))
+}
+
+fn write_hist(out: &mut Writer, h: &EquiDepthHistogram) {
+    let (bounds, rows, min) = h.parts();
+    out.u64(bounds.len() as u64);
+    for &b in bounds {
+        out.i64(b);
+    }
+    out.u64(rows);
+    out.i64(min);
+}
+
+fn read_hist(r: &mut Reader) -> Option<EquiDepthHistogram> {
+    let len = usize::try_from(r.u64()?).ok()?;
+    let mut bounds = Vec::with_capacity(len);
+    for _ in 0..len {
+        bounds.push(r.i64()?);
+    }
+    let rows = r.u64()?;
+    let min = r.i64()?;
+    Some(EquiDepthHistogram::from_parts(bounds, rows, min))
+}
+
+/// Serialize built statistics into the cache (no-op when caching is
+/// disabled; best-effort like the workload cache).
+pub fn store(wl: &WorkloadConfig, h: &JointHistogram) {
+    let Some(path) = stats_cache_path(wl, &h.config) else { return };
+    let mut out = Writer::new();
+    out.bytes(STATS_MAGIC);
+    for word in [
+        h.config.a_buckets as u64,
+        h.config.b_buckets as u64,
+        h.config.sample_target,
+        h.config.seed,
+        h.rows,
+        h.sample_rows,
+    ] {
+        out.u64(word);
+    }
+    out.i64(h.min_a);
+    out.u64(h.a_bounds.len() as u64);
+    for (&bound, &count) in h.a_bounds.iter().zip(&h.a_counts) {
+        out.i64(bound);
+        out.u64(count);
+    }
+    for cond in &h.cond_b {
+        write_hist(&mut out, cond);
+    }
+    write_hist(&mut out, &h.hist_a);
+    write_hist(&mut out, &h.hist_b);
+    cache::write_cache_file(&path, out.buf);
+}
+
+/// Deserialize cached statistics, or `None` on a miss (no file, caching
+/// disabled, or a file that fails validation).
+pub fn load(wl: &WorkloadConfig, cfg: &JointHistogramConfig) -> Option<JointHistogram> {
+    let path = stats_cache_path(wl, cfg)?;
+    let payload = cache::read_cache_file(&path)?;
+    let mut r = Reader { buf: &payload, at: 0 };
+    if r.take(STATS_MAGIC.len())? != STATS_MAGIC {
+        return None;
+    }
+    if [r.u64()?, r.u64()?, r.u64()?, r.u64()?]
+        != [cfg.a_buckets as u64, cfg.b_buckets as u64, cfg.sample_target, cfg.seed]
+    {
+        return None;
+    }
+    let rows = r.u64()?;
+    let sample_rows = r.u64()?;
+    let min_a = r.i64()?;
+    let buckets = usize::try_from(r.u64()?).ok()?;
+    let mut a_bounds = Vec::with_capacity(buckets);
+    let mut a_counts = Vec::with_capacity(buckets);
+    for _ in 0..buckets {
+        a_bounds.push(r.i64()?);
+        a_counts.push(r.u64()?);
+    }
+    if a_counts.iter().sum::<u64>() != sample_rows {
+        return None;
+    }
+    let mut cond_b = Vec::with_capacity(buckets);
+    for _ in 0..buckets {
+        cond_b.push(read_hist(&mut r)?);
+    }
+    let hist_a = read_hist(&mut r)?;
+    let hist_b = read_hist(&mut r)?;
+    if r.at != r.buf.len() {
+        return None; // trailing garbage
+    }
+    Some(JointHistogram {
+        config: *cfg,
+        rows,
+        sample_rows,
+        min_a,
+        a_bounds,
+        a_counts,
+        cond_b,
+        hist_a,
+        hist_b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Permutation};
+    use crate::gen::{PredicateDistribution, TableBuilder};
+
+    fn correlated_pairs(n: u64, rho_pct: u64, seed: u64) -> Vec<(i64, i64)> {
+        let base = Permutation::new(n, seed);
+        let mut other = Permutation::new(n, seed ^ 0xDEAD);
+        (0..n)
+            .map(|i| {
+                let a = base.apply(i) as i64;
+                let b = if draw(seed, i) % 100 < rho_pct { a } else { other.value(i) };
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_columns_estimate_the_product() {
+        let pairs = correlated_pairs(1 << 14, 0, 3);
+        let n = pairs.len() as i64;
+        let h = JointHistogram::build(pairs, 1 << 14, JointHistogramConfig::default());
+        for sel in [0.05f64, 0.25, 0.5, 1.0] {
+            let t = (sel * n as f64) as i64 - 1;
+            let est = h.estimate_joint_at_most(t, t);
+            assert!(
+                (est - sel * sel).abs() < 0.04,
+                "sel {sel}: joint {est:.4} vs product {:.4}",
+                sel * sel
+            );
+        }
+    }
+
+    #[test]
+    fn fully_correlated_columns_estimate_the_diagonal() {
+        // b == a everywhere: P(a <= t AND b <= t) = P(a <= t) = sel, which
+        // the independence assumption would square.
+        let pairs = correlated_pairs(1 << 14, 100, 7);
+        let n = pairs.len() as i64;
+        let h = JointHistogram::build(pairs, 1 << 14, JointHistogramConfig::default());
+        for sel in [0.1f64, 0.25, 0.5, 0.9] {
+            let t = (sel * n as f64) as i64 - 1;
+            let est = h.estimate_joint_at_most(t, t);
+            assert!(
+                (est - sel).abs() < 0.05,
+                "sel {sel}: joint {est:.4} should track the marginal, not {:.4}",
+                sel * sel
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_probabilities_and_monotone() {
+        let pairs = correlated_pairs(1 << 12, 60, 11);
+        let n = 1i64 << 12;
+        let h = JointHistogram::build(pairs, 1 << 12, JointHistogramConfig::default());
+        let mut last = 0.0f64;
+        for t in (0..=n).step_by(64) {
+            let est = h.estimate_joint_at_most(t, n);
+            assert!((0.0..=1.0).contains(&est));
+            assert!(est >= last - 1e-12, "joint estimate dipped at t={t}");
+            last = est;
+        }
+        assert_eq!(h.estimate_joint_at_most(i64::MIN, n), 0.0);
+        assert!(h.estimate_joint_at_most(n, n) > 0.99);
+    }
+
+    #[test]
+    fn empty_sample_is_sane() {
+        let h = JointHistogram::build(vec![], 100, JointHistogramConfig::default());
+        assert_eq!(h.estimate_joint_at_most(5, 5), 0.0);
+        assert_eq!(h.sample_rows(), 0);
+        assert_eq!(h.rows(), 100);
+    }
+
+    #[test]
+    fn workload_build_is_deterministic_and_sampled() {
+        let cfg = crate::gen::WorkloadConfig {
+            rows: 1 << 12,
+            seed: 21,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(75),
+        };
+        let w = TableBuilder::build(cfg);
+        let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
+        let h1 = JointHistogram::from_workload(&w, &jcfg);
+        let h2 = JointHistogram::from_workload(&w, &jcfg);
+        assert_eq!(h1, h2);
+        // Sampling hits the target within a small factor.
+        assert!(h1.sample_rows() >= 1 << 8 && h1.sample_rows() <= 1 << 12);
+        assert_eq!(h1.rows(), 1 << 12);
+        // Correlation is visible through the sample: the joint estimate at
+        // the diagonal midpoint is far above the independence product.
+        let t = w.cal_a.threshold(0.5);
+        let joint = h1.estimate_joint_at_most(t, t);
+        assert!(joint > 0.3, "rho 0.75 at sel 0.5: joint {joint:.3} (product would be 0.25)");
+    }
+
+    #[test]
+    fn stats_cache_roundtrip_is_bit_identical() {
+        let wl = crate::gen::WorkloadConfig {
+            rows: 1 << 12,
+            seed: 0x5EED_CAC4E,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(50),
+        };
+        let w = TableBuilder::build(wl.clone());
+        let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
+        let Some(path) = stats_cache_path(&wl, &jcfg) else { return }; // cache disabled
+        let _ = std::fs::remove_file(&path);
+        let built = JointHistogram::build_cached(&w, &jcfg);
+        assert!(path.exists(), "miss must populate the cache");
+        let loaded = load(&wl, &jcfg).expect("stored statistics must load");
+        assert_eq!(built, loaded);
+        // A different statistics configuration misses.
+        let other = JointHistogramConfig { seed: jcfg.seed ^ 1, ..jcfg };
+        assert!(load(&wl, &other).is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_stats_files_miss() {
+        let wl = crate::gen::WorkloadConfig {
+            rows: 1 << 12,
+            seed: 0xBAD_57A75,
+            predicate_dist: PredicateDistribution::Permutation,
+        };
+        let w = TableBuilder::build(wl.clone());
+        let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
+        let Some(path) = stats_cache_path(&wl, &jcfg) else { return };
+        let _ = std::fs::remove_file(&path);
+        store(&wl, &JointHistogram::from_workload(&w, &jcfg));
+        let mut data = std::fs::read(&path).unwrap();
+        data[STATS_MAGIC.len() + 5] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        assert!(load(&wl, &jcfg).is_none(), "corrupt file must miss");
+        let _ = std::fs::remove_file(path);
+    }
+}

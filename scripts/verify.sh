@@ -49,25 +49,38 @@ cmp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv || {
     exit 1
 }
 
-echo "== smoke 3/3: sort-spill + correlated sweeps, and the regression-check gate"
+echo "== smoke 3/3: sort-spill + correlated + robust-choice sweeps, and the regression-check gate"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
-    --rows 16384 --grid 8 --out target/figures-verify ext_sort_spill ext_correlated ext_regression
+    --rows 16384 --grid 8 --out target/figures-verify \
+    ext_sort_spill ext_correlated ext_robust_choice ext_regression
 test -s target/figures-verify/ext_sort_spill.csv
 test -s target/figures-verify/ext_correlated.csv
 test -s target/figures-verify/ext_correlated_regret.svg
-# The §4 regression benchmark must not shrink below the seed's 28 checks —
-# and they must all PASS (the figures binary prints, it does not gate).
-checks=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
-if [ "${checks:-0}" -lt 28 ]; then
-    echo "regression-check count ${checks:-0} dropped below the seed's 28" >&2
+test -s target/figures-verify/ext_robust_choice.csv
+test -s target/figures-verify/ext_robust_choice_scores.csv
+test -s target/figures-verify/ext_robust_choice_robust_regret.svg
+# The regression gate spans the §4 benchmark (28 checks at the seed) plus
+# the robust-chooser subsystem's named checks: the combined floor is 35,
+# and every check must PASS (the figures binary prints, it does not gate).
+checks_reg=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
+checks_robust=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_robust_choice_checks.txt | head -1 | cut -d' ' -f1 || true)
+total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} ))
+if [ "${checks_reg:-0}" -lt 28 ]; then
+    echo "regression-check count ${checks_reg:-0} dropped below the seed's 28" >&2
     exit 1
 fi
-grep -q 'verdict: PASS' target/figures-verify/ext_regression.txt || {
-    echo "robustness regression benchmark FAILED:" >&2
-    grep '^\[FAIL\]' target/figures-verify/ext_regression.txt >&2
+if [ "$total_checks" -lt 35 ]; then
+    echo "combined regression-check count $total_checks dropped below the floor of 35" >&2
     exit 1
-}
-echo "== regression-check count: $checks (>= 28), verdict PASS"
+fi
+for report in ext_regression.txt ext_robust_choice_checks.txt; do
+    grep -q 'verdict: PASS' "target/figures-verify/$report" || {
+        echo "robustness regression benchmark FAILED ($report):" >&2
+        grep '^\[FAIL\]' "target/figures-verify/$report" >&2
+        exit 1
+    }
+done
+echo "== regression-check count: $total_checks ($checks_reg + $checks_robust, >= 35), verdicts PASS"
 rm -rf "$SMOKE_CACHE"
 
 echo "verify: all green"

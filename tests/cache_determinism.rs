@@ -111,6 +111,41 @@ fn correlated_column_survives_the_cache_bit_identically() {
 }
 
 #[test]
+fn joint_statistics_ride_the_cache_bit_identically() {
+    // The statistics cache shares the workload cache's directory, format
+    // conventions and determinism contract: a cache-hit JointHistogram is
+    // field-for-field identical to a fresh build, whichever workload copy
+    // (fresh, cached, rebuilt) it was sampled from.
+    use robustmap::workload::{stats, JointHistogram, JointHistogramConfig};
+    let config = WorkloadConfig {
+        rows: 1 << 12,
+        seed: 0x107_57A75,
+        predicate_dist: PredicateDistribution::CorrelatedHundredths(70),
+    };
+    let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
+    let Some(stats_path) = stats::stats_cache_path(&config, &jcfg) else { return };
+    let _ = std::fs::remove_file(&stats_path);
+
+    let fresh = TableBuilder::build(config.clone());
+    let built = JointHistogram::build_cached(&fresh, &jcfg);
+    assert!(stats_path.exists(), "miss must populate the statistics cache");
+
+    // Served from the cache — and from a *workload-cache* round-tripped
+    // workload — the statistics are identical.
+    cache::store(&fresh);
+    let loaded_workload = cache::load(&config).expect("stored workload must load");
+    let hit = JointHistogram::build_cached(&loaded_workload, &jcfg);
+    assert_eq!(built, hit);
+    let scratch = JointHistogram::from_workload(&TableBuilder::build(config.clone()), &jcfg);
+    assert_eq!(built, scratch);
+
+    let _ = std::fs::remove_file(stats_path);
+    if let Some(p) = cache::cache_path(&config) {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn build_cached_roundtrips_through_the_cache() {
     let mut config = private_config();
     config.seed ^= 1; // own cache file, distinct from the test above
