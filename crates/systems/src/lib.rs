@@ -26,17 +26,28 @@
 //! Plan factories are parameterised by the predicate constants, so the map
 //! builder in `robustmap-core` can sweep selectivities without this crate
 //! knowing anything about grids.
+//!
+//! Plan *choice* lives behind the [`choice`] module's Estimator /
+//! ChoicePolicy split: estimators say what the catalog believes
+//! (exact, error-injected, histogram, joint statistics), policies say how
+//! to pick under those beliefs (point argmin or penalty-aware robust
+//! hedging), and a [`Chooser`] binds a catalog to both.  The free
+//! functions in [`optimizer`] and [`robust`] are deprecated shims over it.
 
+pub mod choice;
 pub mod optimizer;
 pub mod robust;
 pub mod single_pred;
 pub mod system;
 pub mod two_pred;
 
-pub use optimizer::{choose_plan, estimate_cost, CatalogStats, SelEstimates};
-pub use robust::{
-    choose_plan_robust, choose_plan_with_joint, uncertainty_region, RobustConfig, SelHypothesis,
-};
+pub use choice::{Choice, ChoicePolicy, Chooser, Estimator};
+#[allow(deprecated)] // the legacy shims stay importable while callers migrate
+pub use optimizer::choose_plan;
+pub use optimizer::{estimate_cost, CatalogStats, SelEstimates};
+#[allow(deprecated)]
+pub use robust::{choose_plan_robust, choose_plan_with_joint};
+pub use robust::{credible_region, uncertainty_region, RobustConfig, SelHypothesis};
 pub use single_pred::{single_predicate_plans, SinglePredPlan, SinglePredPlanSet};
 pub use system::{SystemId, SystemInfo};
 pub use two_pred::{two_predicate_plans, TwoPredPlan};

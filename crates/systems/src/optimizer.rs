@@ -54,6 +54,13 @@ pub(crate) fn frechet_clamp(sel_a: f64, sel_b: f64, sel_ab: f64) -> f64 {
     sel_ab.clamp(lo, hi)
 }
 
+/// Minimum sampled rows of evidence before an observed co-occurrence is
+/// trusted over the independence prior in [`SelEstimates::from_joint`] —
+/// the usual minimum-support smoothing rule.  At 16 rows the estimate's
+/// relative standard error is ~25%, about the least that reliably
+/// out-ranks the product on near-tie plans.
+pub const JOINT_MIN_EVIDENCE: f64 = 16.0;
+
 impl SelEstimates {
     /// Independence-assuming estimates from two per-column selectivities
     /// (clamped to `(0, 1]`).
@@ -65,8 +72,11 @@ impl SelEstimates {
 
     /// Exact marginal estimates (the conjunction still assumes
     /// independence — exactly what a single-column catalog knows).
+    /// Clamped into `(0, 1]` like every other constructor: an empty
+    /// result calibrates to selectivity 0, and the cost formulas divide
+    /// by these.
     pub fn exact(sel_a: f64, sel_b: f64) -> Self {
-        SelEstimates { sel_a, sel_b, sel_ab: sel_a * sel_b }
+        Self::independent(sel_a, sel_b)
     }
 
     /// Estimates distorted by a multiplicative error factor (values are
@@ -97,21 +107,45 @@ impl SelEstimates {
     /// marginals by clamping into the Fréchet bounds
     /// `[max(0, sel_a + sel_b - 1), min(sel_a, sel_b)]`.
     ///
+    /// Sampled statistics cannot resolve selectivities below the sample
+    /// grain, and pretending otherwise made the joint estimator *worse*
+    /// than independence exactly where independence was right (pinned by
+    /// `ext_optimizer`'s uncorrelated-map check).  Two guards therefore
+    /// apply, both classic:
+    ///
+    /// * a **marginal** estimate below one sampled row's probability is
+    ///   floored at half a row (`0.5 / sample_rows` — the midpoint of
+    ///   what "we sampled nothing" is evidence for), never at the raw
+    ///   near-zero the cost formulas would otherwise divide by;
+    /// * a **conjunction** where the sample could not have seen the
+    ///   co-occurrence either way — both the observed mass *and* the mass
+    ///   independence would predict sit below [`JOINT_MIN_EVIDENCE`]
+    ///   sampled rows — falls back to the independence product of the
+    ///   (floored) marginals (minimum-support smoothing: a near-empty
+    ///   joint cell is noise when nothing was expected).  Observing
+    ///   ~nothing where independence expects plenty is the opposite of
+    ///   noise — decisive evidence of *negative* association — so there
+    ///   the observed estimate stands.
+    ///
     /// [`JointHistogram`]: robustmap_workload::JointHistogram
     pub fn from_joint(joint: &robustmap_workload::JointHistogram, ta: i64, tb: i64) -> Self {
-        let sel_a = clamp_sel(joint.marginal_a().estimate_at_most(ta));
-        let sel_b = clamp_sel(joint.marginal_b().estimate_at_most(tb));
-        SelEstimates {
-            sel_a,
-            sel_b,
-            sel_ab: frechet_clamp(sel_a, sel_b, joint.estimate_joint_at_most(ta, tb)),
-        }
+        let m = joint.sample_rows().max(1) as f64;
+        let marginal_floor = 0.5 / m;
+        let floor_sel = |raw: f64| clamp_sel(if raw < 1.0 / m { marginal_floor } else { raw });
+        let sel_a = floor_sel(joint.marginal_a().estimate_at_most(ta));
+        let sel_b = floor_sel(joint.marginal_b().estimate_at_most(tb));
+        let raw = joint.estimate_joint_at_most(ta, tb);
+        let evidence_floor = JOINT_MIN_EVIDENCE / m;
+        let product = sel_a * sel_b;
+        let sel_ab =
+            if raw < evidence_floor && product < evidence_floor { product } else { raw };
+        SelEstimates { sel_a, sel_b, sel_ab: frechet_clamp(sel_a, sel_b, sel_ab) }
     }
 }
 
 /// Table/index statistics the estimator consults (what a catalog would
 /// keep).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CatalogStats {
     /// Table rows.
     pub rows: f64,
@@ -121,17 +155,39 @@ pub struct CatalogStats {
     pub entries_per_leaf: f64,
     /// Index height (root-to-leaf page count).
     pub index_height: f64,
+    /// Leading key column per index, indexed by `IndexId.0` — published by
+    /// the workload's catalog ([`Workload::leading_column`]), never
+    /// hard-coded from allocation order.
+    leading: Vec<usize>,
 }
 
 impl CatalogStats {
     /// Gather statistics from a built workload.
     pub fn of(w: &Workload) -> Self {
         let tree = &w.db.index(w.indexes.a).tree;
+        let mut leading = Vec::new();
+        for (id, def) in w.db.indexes_on(w.table) {
+            let slot = id.0 as usize;
+            if leading.len() <= slot {
+                leading.resize(slot + 1, usize::MAX);
+            }
+            leading[slot] = def.key_columns[0];
+        }
         CatalogStats {
             rows: w.rows() as f64,
             heap_pages: w.heap_pages() as f64,
             entries_per_leaf: (tree.len() as f64 / tree.node_count() as f64).max(1.0),
             index_height: tree.height() as f64,
+            leading,
+        }
+    }
+
+    /// The leading key column of `index`, or `None` for an index this
+    /// catalog does not know about.
+    pub fn leading_column(&self, index: robustmap_storage::IndexId) -> Option<usize> {
+        match self.leading.get(index.0 as usize) {
+            Some(&col) if col != usize::MAX => Some(col),
+            _ => None,
         }
     }
 }
@@ -159,7 +215,7 @@ pub fn estimate_cost(
             // and ab, sel_b otherwise.  Plan factories only produce these
             // shapes, and the estimator receives the same `scan.index` ids
             // the workload publishes.
-            let leading = leading_selectivity(scan.index, est);
+            let leading = leading_selectivity(scan.index, stats, est);
             let scanned_entries = leading * rows;
             let qualifying =
                 if key_filter.is_true() { scanned_entries } else { result_rows.max(1.0) };
@@ -173,7 +229,7 @@ pub fn estimate_cost(
                 + qualifying * model.cpu_row
         }
         PlanSpec::CoveringIndexScan { scan, .. } => {
-            let leading = leading_selectivity(scan.index, est);
+            let leading = leading_selectivity(scan.index, stats, est);
             let scanned = leading * rows;
             (scanned / stats.entries_per_leaf).ceil() * model.seq_page_read
                 + stats.index_height * model.random_page_read
@@ -193,8 +249,8 @@ pub fn estimate_cost(
                 + qualifying * (model.cpu_row + model.cpu_compare)
         }
         PlanSpec::IndexIntersect { left, right, fetch, .. } => {
-            let sl = leading_selectivity(left.index, est) * rows;
-            let sr = leading_selectivity(right.index, est) * rows;
+            let sl = leading_selectivity(left.index, stats, est) * rows;
+            let sr = leading_selectivity(right.index, stats, est) * rows;
             let leaf = ((sl + sr) / stats.entries_per_leaf).ceil() * model.seq_page_read
                 + 2.0 * stats.index_height * model.random_page_read;
             let combine = (sl + sr) * (model.cpu_compare * 20.0); // sort/hash work
@@ -206,14 +262,18 @@ pub fn estimate_cost(
     }
 }
 
-/// Leading-column selectivity for the workload's published indexes: `a`
-/// and `(a, b)` lead on `a`; `b` and `(b, a)` lead on `b`; the `c` index
-/// is unfiltered in these plans.
-fn leading_selectivity(index: robustmap_storage::IndexId, est: &SelEstimates) -> f64 {
-    // Workload index ids are created in order: a=0, b=1, c=2, ab=3, ba=4.
-    match index.0 {
-        0 | 3 => est.sel_a,
-        1 | 4 => est.sel_b,
+/// Leading-column selectivity of an index range scan: the estimate for
+/// whichever predicate column the catalog says leads the index (`a` and
+/// `(a, b)` lead on `a`; `b` and `(b, a)` lead on `b`), and `1.0` for
+/// indexes leading on an unfiltered column (the `c` index).
+fn leading_selectivity(
+    index: robustmap_storage::IndexId,
+    stats: &CatalogStats,
+    est: &SelEstimates,
+) -> f64 {
+    match stats.leading_column(index) {
+        Some(robustmap_workload::COL_A) => est.sel_a,
+        Some(robustmap_workload::COL_B) => est.sel_b,
         _ => 1.0,
     }
 }
@@ -236,6 +296,11 @@ fn estimate_fetch(rows_to_fetch: f64, stats: &CatalogStats, fetch: &FetchKind, m
 
 /// The optimizer: estimate every plan and return the index of the cheapest
 /// (ties break to the lower index, deterministically).
+#[deprecated(
+    note = "use `choice::Chooser` with `ChoicePolicy::Point` — this free \
+            function is a thin shim over it (bit-identical, pinned by \
+            `tests/prop_choice.rs`)"
+)]
 pub fn choose_plan(
     plans: &[TwoPredPlan],
     ta: i64,
@@ -244,20 +309,13 @@ pub fn choose_plan(
     est: &SelEstimates,
     model: &CostModel,
 ) -> usize {
-    let mut best = 0usize;
-    let mut best_cost = f64::INFINITY;
-    for (i, plan) in plans.iter().enumerate() {
-        let spec = plan.build(ta, tb);
-        let cost = estimate_cost(&spec, stats, est, model);
-        if cost < best_cost {
-            best_cost = cost;
-            best = i;
-        }
-    }
-    best
+    crate::choice::Chooser { plans, stats, model, policy: crate::choice::ChoicePolicy::Point }
+        .choose_at(est, ta, tb)
+        .plan
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shim's behaviour is pinned here
 mod tests {
     use super::*;
     use crate::two_pred::two_predicate_plans;
@@ -340,6 +398,51 @@ mod tests {
     }
 
     #[test]
+    fn exact_clamps_both_edges_like_every_other_constructor() {
+        // Lower edge: a zero selectivity (empty calibrated result) must
+        // clamp to MIN_POSITIVE — the cost formulas divide by these.
+        let lo = SelEstimates::exact(0.0, 0.5);
+        assert!(lo.sel_a > 0.0, "zero marginal clamps: {}", lo.sel_a);
+        assert!(lo.sel_ab > 0.0, "zero conjunction clamps: {}", lo.sel_ab);
+        assert_eq!(lo.sel_b, 0.5);
+        // Upper edge: over-unity estimates clamp to 1.
+        let hi = SelEstimates::exact(1.5, 2.0);
+        assert_eq!(hi.sel_a, 1.0);
+        assert_eq!(hi.sel_b, 1.0);
+        assert_eq!(hi.sel_ab, 1.0);
+    }
+
+    #[test]
+    fn leading_selectivity_follows_catalog_metadata_for_all_five_indexes() {
+        let (w, stats, _) = setup();
+        let est = SelEstimates::exact(0.25, 0.5);
+        // The catalog, not the allocation order, decides which marginal an
+        // index leads on: a and (a, b) read sel_a, b and (b, a) read
+        // sel_b, the c index (unfiltered in these plans) reads 1.
+        for (index, want) in [
+            (w.indexes.a, est.sel_a),
+            (w.indexes.ab, est.sel_a),
+            (w.indexes.b, est.sel_b),
+            (w.indexes.ba, est.sel_b),
+            (w.indexes.c, 1.0),
+        ] {
+            assert_eq!(leading_selectivity(index, &stats, &est), want, "index {index:?}");
+            assert_eq!(
+                stats.leading_column(index),
+                Some(w.leading_column(index)),
+                "stats must republish the workload's catalog metadata"
+            );
+        }
+        // An index the catalog never saw costs like an unfiltered scan
+        // instead of silently borrowing another index's selectivity.
+        assert_eq!(stats.leading_column(robustmap_storage::IndexId(99)), None);
+        assert_eq!(
+            leading_selectivity(robustmap_storage::IndexId(99), &stats, &est),
+            1.0
+        );
+    }
+
+    #[test]
     fn from_histograms_clamps_out_of_range_estimates_into_unit_interval() {
         use robustmap_workload::EquiDepthHistogram;
         // An empty histogram estimates 0.0 — outside the (0, 1] range the
@@ -375,6 +478,54 @@ mod tests {
         assert!(est.sel_ab > 0.18, "joint {} should be near 0.25, not 0.0625", est.sel_ab);
         // Coherence: within the Fréchet bounds.
         assert!(est.sel_ab <= est.sel_a.min(est.sel_b) + 1e-12);
+    }
+
+    #[test]
+    fn from_joint_falls_back_to_independence_below_the_sample_floor() {
+        use robustmap_workload::{JointHistogram, JointHistogramConfig, TableBuilder};
+        // Independent permutation columns: the true conjunction at tiny
+        // thresholds is far below what any finite sample can observe.  A
+        // raw joint estimate there is an empty-cell artifact; the
+        // estimator must report the independence product of the
+        // well-resolved marginals instead of a near-zero conjunction.
+        let w = TableBuilder::build(WorkloadConfig::with_rows(1 << 16));
+        let joint = JointHistogram::from_workload(
+            &w,
+            &JointHistogramConfig { sample_target: 1 << 10, ..Default::default() },
+        );
+        let sel = 1.0 / 512.0; // conjunction ~ 2^-18, floor ~ 2^-10
+        let (ta, tb) = (w.cal_a.threshold(sel), w.cal_b.threshold(sel));
+        let est = SelEstimates::from_joint(&joint, ta, tb);
+        let product = est.sel_a * est.sel_b;
+        assert!(
+            (est.sel_ab - product).abs() <= product * 0.5 + 1e-12,
+            "below the floor the conjunction must track the product: {} vs {product}",
+            est.sel_ab
+        );
+        assert!(est.sel_ab < 1e-4, "and the product of tiny marginals is tiny");
+    }
+
+    #[test]
+    fn from_joint_keeps_observed_negative_association() {
+        use robustmap_workload::{JointHistogram, JointHistogramConfig};
+        // b is the mirror of a: predicates selecting the lower half of
+        // each column have a truly empty conjunction.  The sample observes
+        // ~zero co-occurrence where independence predicts a quarter of the
+        // table — decisive evidence, which the minimum-support fallback
+        // must NOT override with the product.
+        let n = 1i64 << 12;
+        let pairs: Vec<(i64, i64)> = (0..n).map(|i| (i, n - 1 - i)).collect();
+        let joint =
+            JointHistogram::build(pairs, n as u64, JointHistogramConfig::default());
+        let t = n / 2 - 1;
+        let est = SelEstimates::from_joint(&joint, t, t);
+        assert!((est.sel_a - 0.5).abs() < 0.02);
+        assert!((est.sel_b - 0.5).abs() < 0.02);
+        assert!(
+            est.sel_ab < 0.05,
+            "negative association must survive the support guard: {} (product would be 0.25)",
+            est.sel_ab
+        );
     }
 
     #[test]

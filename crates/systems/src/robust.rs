@@ -64,10 +64,25 @@ pub struct SelHypothesis {
 }
 
 /// The credible box of selectivity hypotheses around the joint
-/// histogram's estimate at `(ta, tb)`: a 3 × 3 grid spanning ± one
-/// marginal-bucket resolution per axis, triangular weights
-/// (¼, ½, ¼ per axis), center = [`SelEstimates::from_joint`].
+/// histogram's estimate at `(ta, tb)` with the *fixed* bucket-resolution
+/// half-widths: `credible_region` at ± one marginal bucket per axis.
+/// The variance-adaptive widths live in [`crate::choice::Joint`].
 pub fn uncertainty_region(joint: &JointHistogram, ta: i64, tb: i64) -> Vec<SelHypothesis> {
+    credible_region(joint, ta, tb, joint.resolution_a(), joint.resolution_b())
+}
+
+/// The credible box with explicit half-widths: a 3 × 3 grid spanning
+/// ± `radius_a` / ± `radius_b` around the joint estimate, triangular
+/// weights (¼, ½, ¼ per axis), center = [`SelEstimates::from_joint`].
+/// Every hypothesis keeps the histogram's observed correlation lift and
+/// stays inside the Fréchet bounds.
+pub fn credible_region(
+    joint: &JointHistogram,
+    ta: i64,
+    tb: i64,
+    radius_a: f64,
+    radius_b: f64,
+) -> Vec<SelHypothesis> {
     let center = SelEstimates::from_joint(joint, ta, tb);
     // The statistics' observed dependence, carried across the box: the
     // lift is what the histogram knows beyond the marginals.
@@ -76,8 +91,8 @@ pub fn uncertainty_region(joint: &JointHistogram, ta: i64, tb: i64) -> Vec<SelHy
         [(clamp_sel(s0 - r), 0.25), (s0, 0.5), (clamp_sel(s0 + r), 0.25)]
     };
     let mut region = Vec::with_capacity(9);
-    for (sa, wa) in axis(center.sel_a, joint.resolution_a()) {
-        for (sb, wb) in axis(center.sel_b, joint.resolution_b()) {
+    for (sa, wa) in axis(center.sel_a, radius_a) {
+        for (sb, wb) in axis(center.sel_b, radius_b) {
             let est = if sa == center.sel_a && sb == center.sel_b {
                 center // the exact histogram estimate, not a lift round-trip
             } else {
@@ -123,8 +138,11 @@ pub fn region_cost(
 
 /// The robust chooser: return the index of the plan minimizing
 /// `expected + penalty_weight * tail` over the hypothesis region (ties
-/// break to the lower index, deterministically, like
-/// [`crate::optimizer::choose_plan`]).
+/// break to the lower index, deterministically).
+#[deprecated(
+    note = "use `choice::Chooser` with `ChoicePolicy::Robust` — this free \
+            function is a thin shim over it"
+)]
 pub fn choose_plan_robust(
     plans: &[TwoPredPlan],
     ta: i64,
@@ -134,21 +152,23 @@ pub fn choose_plan_robust(
     model: &CostModel,
     cfg: &RobustConfig,
 ) -> usize {
-    let mut best = 0usize;
-    let mut best_score = f64::INFINITY;
-    for (i, plan) in plans.iter().enumerate() {
-        let (expected, tail) = region_cost(plan, ta, tb, stats, region, model, cfg);
-        let score = expected + cfg.penalty_weight * tail;
-        if score < best_score {
-            best_score = score;
-            best = i;
-        }
+    crate::choice::Chooser {
+        plans,
+        stats,
+        model,
+        policy: crate::choice::ChoicePolicy::Robust(*cfg),
     }
-    best
+    .choose_over(region, ta, tb)
+    .plan
 }
 
 /// Convenience: build the [`uncertainty_region`] from `joint` at
-/// `(ta, tb)` and run [`choose_plan_robust`] over it.
+/// `(ta, tb)` and choose robustly over it.
+#[deprecated(
+    note = "use `choice::Chooser` with a `choice::Joint` estimator and \
+            `ChoicePolicy::Robust` — this free function is a thin shim \
+            over them (with the fixed bucket-resolution region)"
+)]
 pub fn choose_plan_with_joint(
     plans: &[TwoPredPlan],
     ta: i64,
@@ -159,10 +179,18 @@ pub fn choose_plan_with_joint(
     cfg: &RobustConfig,
 ) -> usize {
     let region = uncertainty_region(joint, ta, tb);
-    choose_plan_robust(plans, ta, tb, stats, &region, model, cfg)
+    crate::choice::Chooser {
+        plans,
+        stats,
+        model,
+        policy: crate::choice::ChoicePolicy::Robust(*cfg),
+    }
+    .choose_over(&region, ta, tb)
+    .plan
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' degeneration contracts are pinned here
 mod tests {
     use super::*;
     use crate::optimizer::choose_plan;

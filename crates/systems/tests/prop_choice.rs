@@ -1,0 +1,192 @@
+//! Property-based tests for the `choice` API: the contracts the rest of
+//! the repo leans on.
+//!
+//! * `ChoicePolicy::Point` reproduces the legacy `choose_plan` indices
+//!   bit-identically over the full 15-plan catalog (the pinning test the
+//!   deprecated shim's docs promise);
+//! * `ChoicePolicy::Robust` with a single hypothesis and zero penalty
+//!   degenerates to the point policy exactly;
+//! * tie-breaks are deterministic (lower index wins, repeat calls agree);
+//! * every [`Choice`] is internally coherent: `margin >= 0`,
+//!   `runner_up != plan`, the runner-up never scores below the winner.
+
+#![allow(deprecated)] // the legacy shims are the reference implementations here
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use robustmap_storage::CostModel;
+use robustmap_systems::choice::{Choice, ChoicePolicy, Chooser};
+use robustmap_systems::{
+    choose_plan, estimate_cost, CatalogStats, RobustConfig, SelEstimates, SelHypothesis, SystemId,
+};
+use robustmap_workload::{TableBuilder, Workload, WorkloadConfig};
+
+/// One shared mid-size workload: catalogs and statistics are deterministic,
+/// so every property case can reuse it.
+fn workload() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| TableBuilder::build(WorkloadConfig::with_rows(1 << 14)))
+}
+
+fn full_catalog(w: &Workload) -> Vec<robustmap_systems::TwoPredPlan> {
+    SystemId::all().into_iter().flat_map(|s| robustmap_systems::two_predicate_plans(s, w)).collect()
+}
+
+/// A selectivity from a dense grid over (0, 1] — the sweep range every
+/// figure uses, plus the clamping edges.
+fn sel_from(exp2: u32, jitter: f64) -> f64 {
+    (0.5f64.powi(exp2 as i32) * (1.0 + jitter)).clamp(0.0, 1.0)
+}
+
+fn coherent(c: &Choice, plan_count: usize) {
+    assert!(c.plan < plan_count);
+    assert!(c.margin >= 0.0, "margin {}", c.margin);
+    assert!(c.score.is_finite() && c.expected.is_finite() && c.tail.is_finite());
+    if let Some(r) = c.runner_up {
+        assert_ne!(r, c.plan, "runner-up must differ from the winner");
+        assert!(r < plan_count);
+    } else {
+        assert_eq!(plan_count, 1, "only a singleton catalog lacks a runner-up");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Point policy == legacy `choose_plan`, plan index for plan index,
+    /// over the full 15-plan catalog and arbitrary (clamped) estimates.
+    #[test]
+    fn point_policy_is_bit_identical_to_the_legacy_chooser(
+        exp_a in 0u32..=14,
+        exp_b in 0u32..=14,
+        jitter_a in 0.0f64..1.0,
+        jitter_b in 0.0f64..1.0,
+        err_exp in 0i64..=18,
+    ) {
+        let w = workload();
+        let plans = full_catalog(w);
+        prop_assert_eq!(plans.len(), 15);
+        let stats = CatalogStats::of(w);
+        let model = CostModel::hdd_2009();
+        let (sa, sb) = (sel_from(exp_a, jitter_a), sel_from(exp_b, jitter_b));
+        let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
+        let err = 2.0f64.powi(err_exp as i32 - 9);
+        let est = SelEstimates::with_error(sa, sb, err, 1.0 / err.max(1e-12));
+        let legacy = choose_plan(&plans, ta, tb, &stats, &est, &model);
+        let chooser =
+            Chooser { plans: &plans, stats: &stats, model: &model, policy: ChoicePolicy::Point };
+        let choice = chooser.choose_at(&est, ta, tb);
+        prop_assert_eq!(choice.plan, legacy);
+        // And through the trait path with the estimates as the estimator.
+        prop_assert_eq!(chooser.choose(&est, ta, tb).plan, legacy);
+        // The reported score is exactly the winner's estimated cost.
+        let cost = estimate_cost(&plans[legacy].build(ta, tb), &stats, &est, &model);
+        prop_assert_eq!(choice.score, cost);
+        coherent(&choice, plans.len());
+    }
+
+    /// Robust with one hypothesis and zero penalty == point, exactly.
+    #[test]
+    fn degenerate_robust_policy_equals_point(
+        exp_a in 0u32..=14,
+        exp_b in 0u32..=14,
+        tail_q in 0.0f64..=1.0,
+    ) {
+        let w = workload();
+        let plans = full_catalog(w);
+        let stats = CatalogStats::of(w);
+        let model = CostModel::hdd_2009();
+        let (sa, sb) = (sel_from(exp_a, 0.0), sel_from(exp_b, 0.0));
+        let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
+        let est = SelEstimates::exact(sa, sb);
+        let region = [SelHypothesis { est, weight: 1.0 }];
+        let cfg = RobustConfig { tail_quantile: tail_q, penalty_weight: 0.0 };
+        let point = Chooser {
+            plans: &plans, stats: &stats, model: &model, policy: ChoicePolicy::Point,
+        }
+        .choose_at(&est, ta, tb);
+        let robust = Chooser {
+            plans: &plans, stats: &stats, model: &model, policy: ChoicePolicy::Robust(cfg),
+        }
+        .choose_over(&region, ta, tb);
+        prop_assert_eq!(robust.plan, point.plan);
+        prop_assert_eq!(robust.score, point.score, "zero penalty: score is the point cost");
+        prop_assert_eq!(robust.runner_up, point.runner_up);
+        coherent(&robust, plans.len());
+    }
+
+    /// Tie-breaks are deterministic: a catalog with every plan duplicated
+    /// always picks out of the first copies (the lower index), and repeat
+    /// calls agree.
+    #[test]
+    fn tie_breaks_are_deterministic(
+        exp_a in 0u32..=14,
+        exp_b in 0u32..=14,
+        robust in any::<bool>(),
+    ) {
+        let w = workload();
+        let mut plans = full_catalog(w);
+        plans.extend(full_catalog(w)); // indices 15.. are exact duplicates
+        let stats = CatalogStats::of(w);
+        let model = CostModel::hdd_2009();
+        let policy = if robust {
+            ChoicePolicy::Robust(RobustConfig::default())
+        } else {
+            ChoicePolicy::Point
+        };
+        let chooser = Chooser { plans: &plans, stats: &stats, model: &model, policy };
+        let (sa, sb) = (sel_from(exp_a, 0.0), sel_from(exp_b, 0.0));
+        let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
+        let est = SelEstimates::exact(sa, sb);
+        let first = chooser.choose(&est, ta, tb);
+        prop_assert!(first.plan < 15, "ties must break to the lower index");
+        // The duplicate scores identically, so the margin to it is 0 and
+        // selection must still be stable across calls.
+        let again = chooser.choose(&est, ta, tb);
+        prop_assert_eq!(&first, &again);
+        coherent(&first, plans.len());
+    }
+
+    /// Choices are coherent for arbitrary weighted regions: margin >= 0,
+    /// runner_up != plan, and the winner's score is the region minimum.
+    #[test]
+    fn choices_over_arbitrary_regions_are_coherent(
+        exp_a in 0u32..=14,
+        exp_b in 0u32..=14,
+        spread in 1.0f64..64.0,
+        weight in 0.05f64..0.95,
+        penalty in 0.0f64..4.0,
+    ) {
+        let w = workload();
+        let plans = full_catalog(w);
+        let stats = CatalogStats::of(w);
+        let model = CostModel::hdd_2009();
+        let (sa, sb) = (sel_from(exp_a, 0.0), sel_from(exp_b, 0.0));
+        let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
+        let region = [
+            SelHypothesis { est: SelEstimates::exact(sa / spread, sb), weight },
+            SelHypothesis { est: SelEstimates::exact(sa, sb / spread), weight: 1.0 - weight },
+        ];
+        let cfg = RobustConfig { tail_quantile: 0.9, penalty_weight: penalty };
+        let chooser = Chooser {
+            plans: &plans, stats: &stats, model: &model, policy: ChoicePolicy::Robust(cfg),
+        };
+        let c = chooser.choose_over(&region, ta, tb);
+        coherent(&c, plans.len());
+        prop_assert!(c.tail >= 0.0 && c.expected >= 0.0);
+        prop_assert!(c.score >= c.expected, "penalty adds a nonnegative term");
+        // No other plan scores strictly below the winner.
+        for (i, plan) in plans.iter().enumerate() {
+            let (e, t) = robustmap_systems::robust::region_cost(
+                plan, ta, tb, &stats, &region, &model, &cfg,
+            );
+            let score = e + cfg.penalty_weight * t;
+            prop_assert!(
+                score >= c.score || i == c.plan,
+                "plan {i} scores {score} below the winner's {}",
+                c.score
+            );
+        }
+    }
+}

@@ -123,6 +123,16 @@ impl Workload {
     pub fn heap_pages(&self) -> u32 {
         self.db.table(self.table).heap.page_count()
     }
+
+    /// The leading key column of an index, straight from the catalog.
+    ///
+    /// Cost estimators must not hard-code which column an index id leads
+    /// on (index ids are allocation-ordered and reordering index creation
+    /// would silently mis-cost every index plan); this is the metadata
+    /// they should consult instead.
+    pub fn leading_column(&self, index: IndexId) -> usize {
+        self.db.index(index).key_columns[0]
+    }
 }
 
 impl std::fmt::Debug for Workload {
@@ -307,6 +317,21 @@ mod tests {
         for idx in [w.indexes.a, w.indexes.b, w.indexes.c, w.indexes.ab, w.indexes.ba] {
             assert_eq!(w.db.index(idx).tree.len(), 1 << 12);
             w.db.index(idx).tree.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn leading_columns_come_from_the_catalog_for_all_five_indexes() {
+        let w = TableBuilder::build(WorkloadConfig::small());
+        assert_eq!(w.leading_column(w.indexes.a), COL_A);
+        assert_eq!(w.leading_column(w.indexes.b), COL_B);
+        assert_eq!(w.leading_column(w.indexes.c), COL_C);
+        assert_eq!(w.leading_column(w.indexes.ab), COL_A);
+        assert_eq!(w.leading_column(w.indexes.ba), COL_B);
+        // The accessor reads the catalog, not the id: it agrees with the
+        // index definitions whatever order allocation happened in.
+        for (id, def) in w.db.indexes_on(w.table) {
+            assert_eq!(w.leading_column(id), def.key_columns[0], "{}", def.name);
         }
     }
 

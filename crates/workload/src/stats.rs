@@ -91,6 +91,17 @@ pub struct JointHistogram {
     hist_b: EquiDepthHistogram,
 }
 
+/// Variance of a Bernoulli sample mean at estimated rate `p` over `m`
+/// draws (`p(1-p) / (m-1)`, the unbiased plug-in).  Zero for degenerate
+/// samples (`m <= 1`), where the estimate carries no variance signal.
+fn sample_mean_variance(p: f64, m: u64) -> f64 {
+    if m <= 1 {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    p * (1.0 - p) / (m - 1) as f64
+}
+
 /// A splitmix64-style finalizer: the per-row sampling draw.
 fn draw(seed: u64, i: u64) -> u64 {
     let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -223,6 +234,26 @@ impl JointHistogram {
     /// Selectivity resolution of the `b` axis: one marginal bucket.
     pub fn resolution_b(&self) -> f64 {
         1.0 / self.hist_b.bucket_count() as f64
+    }
+
+    /// Observed sampling variance of the marginal-`a` selectivity estimate
+    /// at `ta`: the variance of the sample mean of the Bernoulli indicator
+    /// `1[a <= ta]`, i.e. `p(1-p) / (m-1)` for a sample of `m` rows.
+    ///
+    /// This is the *statistical* uncertainty of the estimate — how much it
+    /// would move under a different random sample — as opposed to
+    /// [`JointHistogram::resolution_a`], the *representational* limit of
+    /// the bucket grid.  An uncertainty region should cover both: the
+    /// variance term dominates when the sample is small relative to the
+    /// bucket count, the resolution term when the sample is plentiful.
+    pub fn sel_variance_a(&self, ta: i64) -> f64 {
+        sample_mean_variance(self.hist_a.estimate_at_most(ta), self.sample_rows)
+    }
+
+    /// Observed sampling variance of the marginal-`b` selectivity estimate
+    /// at `tb`; see [`JointHistogram::sel_variance_a`].
+    pub fn sel_variance_b(&self, tb: i64) -> f64 {
+        sample_mean_variance(self.hist_b.estimate_at_most(tb), self.sample_rows)
     }
 
     /// Estimated selectivity of the conjunction `a <= ta AND b <= tb`,
@@ -443,6 +474,39 @@ mod tests {
         }
         assert_eq!(h.estimate_joint_at_most(i64::MIN, n), 0.0);
         assert!(h.estimate_joint_at_most(n, n) > 0.99);
+    }
+
+    #[test]
+    fn sel_variance_tracks_binomial_uncertainty_and_shrinks_with_the_sample() {
+        let small = JointHistogram::build(
+            correlated_pairs(1 << 8, 0, 5),
+            1 << 8,
+            JointHistogramConfig::default(),
+        );
+        let large = JointHistogram::build(
+            correlated_pairs(1 << 14, 0, 5),
+            1 << 14,
+            JointHistogramConfig::default(),
+        );
+        // At the midpoint (p ~ 0.5) the variance is ~ 0.25 / (m - 1):
+        // the small sample's estimate is far noisier than the large one's.
+        let t_small = (1i64 << 7) - 1;
+        let t_large = (1i64 << 13) - 1;
+        let v_small = small.sel_variance_a(t_small);
+        let v_large = large.sel_variance_a(t_large);
+        assert!(v_small > 30.0 * v_large, "{v_small} vs {v_large}");
+        assert!((v_small - 0.25 / 255.0).abs() < 0.25 / 255.0, "{v_small}");
+        // Degenerate selectivities carry no sampling variance, and the
+        // variance is always a finite non-negative number.
+        assert_eq!(large.sel_variance_a(i64::MIN), 0.0);
+        assert_eq!(large.sel_variance_b(i64::MAX), 0.0);
+        for t in [0i64, 100, 1000, 10_000] {
+            let v = large.sel_variance_b(t);
+            assert!(v.is_finite() && v >= 0.0, "{v} at {t}");
+        }
+        // Empty samples report zero, not NaN.
+        let empty = JointHistogram::build(vec![], 100, JointHistogramConfig::default());
+        assert_eq!(empty.sel_variance_a(5), 0.0);
     }
 
     #[test]

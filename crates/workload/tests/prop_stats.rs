@@ -69,6 +69,29 @@ proptest! {
         prop_assert_eq!(h.estimate_joint_at_most(i64::MIN, i64::MAX), 0.0);
     }
 
+    /// The observed sampling variance of a marginal estimate is a bounded
+    /// binomial variance: finite, non-negative, at most `0.25 / (m - 1)`,
+    /// and exactly zero where the estimate is degenerate (0 or 1).
+    #[test]
+    fn sel_variance_is_a_bounded_binomial_variance(
+        n in 64usize..3000,
+        rho_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let data = pairs(n, rho_pct, seed);
+        let m = data.len() as u64;
+        let h = JointHistogram::build(data, n as u64, JointHistogramConfig::default());
+        let cap = 0.25 / (m - 1) as f64;
+        for &t in &[i64::MIN, -1, 0, n as i64 / 7, n as i64 / 2, n as i64, i64::MAX] {
+            for v in [h.sel_variance_a(t), h.sel_variance_b(t)] {
+                prop_assert!(v.is_finite() && v >= 0.0, "variance {v} at {t}");
+                prop_assert!(v <= cap + 1e-15, "variance {v} above the p=1/2 cap {cap}");
+            }
+        }
+        prop_assert_eq!(h.sel_variance_a(i64::MIN), 0.0);
+        prop_assert_eq!(h.sel_variance_b(i64::MAX), 0.0);
+    }
+
     /// The joint histogram's marginals agree with directly built 1-D
     /// equi-depth histograms over the same sample, within bucket
     /// resolution.

@@ -11,8 +11,9 @@
 //! ```
 
 use robustmap::core::{build_map2d, Grid2D, MeasureConfig, RelativeMap2D};
+use robustmap::systems::choice::WithError;
 use robustmap::systems::{
-    choose_plan, two_predicate_plans, CatalogStats, SelEstimates, SystemId, TwoPredPlan,
+    two_predicate_plans, CatalogStats, ChoicePolicy, Chooser, SystemId, TwoPredPlan,
 };
 use robustmap::workload::{TableBuilder, WorkloadConfig};
 
@@ -26,6 +27,8 @@ fn main() {
     let map = build_map2d(&w, &plans, &grid, &cfg);
     let rel = RelativeMap2D::from_map(&map);
     let stats = CatalogStats::of(&w);
+    let chooser =
+        Chooser { plans: &plans, stats: &stats, model: &cfg.model, policy: ChoicePolicy::Point };
     let (na, nb) = rel.dims();
 
     println!(
@@ -35,15 +38,15 @@ fn main() {
     for (label, err) in
         [("exact", 1.0), ("4x under", 0.25), ("64x under", 1.0 / 64.0), ("64x over", 64.0)]
     {
+        let est = WithError::of(&w, err, err);
         let mut sum = 0.0;
         let mut max: f64 = 1.0;
         let mut histogram = vec![0usize; plans.len()];
         for ia in 0..na {
             for ib in 0..nb {
                 let (sa, sb) = (rel.sel_a[ia], rel.sel_b[ib]);
-                let est = SelEstimates::with_error(sa, sb, err, err);
                 let (ta, tb) = (w.cal_a.threshold(sa), w.cal_b.threshold(sb));
-                let chosen = choose_plan(&plans, ta, tb, &stats, &est, &cfg.model);
+                let chosen = chooser.choose(&est, ta, tb).plan;
                 histogram[chosen] += 1;
                 let regret = rel.quotient(chosen, ia, ib);
                 sum += regret;

@@ -49,38 +49,49 @@ cmp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv || {
     exit 1
 }
 
-echo "== smoke 3/3: sort-spill + correlated + robust-choice sweeps, and the regression-check gate"
+echo "== smoke 3/3: sort-spill + correlated + chooser sweeps, and the regression-check gate"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify \
-    ext_sort_spill ext_correlated ext_robust_choice ext_regression
+    ext_sort_spill ext_correlated ext_optimizer ext_robust_choice ext_regression
 test -s target/figures-verify/ext_sort_spill.csv
 test -s target/figures-verify/ext_correlated.csv
 test -s target/figures-verify/ext_correlated_regret.svg
+test -s target/figures-verify/ext_optimizer.csv
+test -s target/figures-verify/ext_optimizer_rho1.csv
+test -s target/figures-verify/ext_optimizer_joint_regret.svg
 test -s target/figures-verify/ext_robust_choice.csv
 test -s target/figures-verify/ext_robust_choice_scores.csv
 test -s target/figures-verify/ext_robust_choice_robust_regret.svg
-# The regression gate spans the §4 benchmark (28 checks at the seed) plus
-# the robust-chooser subsystem's named checks: the combined floor is 35,
-# and every check must PASS (the figures binary prints, it does not gate).
+# The regression gate spans the §4 benchmark (28 checks at the seed), the
+# robust-chooser subsystem's named checks (8), and the estimator
+# comparison's (5): the combined floor is 41, and every check must PASS
+# (the figures binary prints, it does not gate).
 checks_reg=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
 checks_robust=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_robust_choice_checks.txt | head -1 | cut -d' ' -f1 || true)
-total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} ))
+checks_opt=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_optimizer_checks.txt | head -1 | cut -d' ' -f1 || true)
+total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} + ${checks_opt:-0} ))
 if [ "${checks_reg:-0}" -lt 28 ]; then
     echo "regression-check count ${checks_reg:-0} dropped below the seed's 28" >&2
     exit 1
 fi
-if [ "$total_checks" -lt 35 ]; then
-    echo "combined regression-check count $total_checks dropped below the floor of 35" >&2
+if [ "$total_checks" -lt 41 ]; then
+    echo "combined regression-check count $total_checks dropped below the floor of 41" >&2
     exit 1
 fi
-for report in ext_regression.txt ext_robust_choice_checks.txt; do
+for report in ext_regression.txt ext_robust_choice_checks.txt ext_optimizer_checks.txt; do
     grep -q 'verdict: PASS' "target/figures-verify/$report" || {
         echo "robustness regression benchmark FAILED ($report):" >&2
         grep '^\[FAIL\]' "target/figures-verify/$report" >&2
         exit 1
     }
 done
-echo "== regression-check count: $total_checks ($checks_reg + $checks_robust, >= 35), verdicts PASS"
+echo "== regression-check count: $total_checks ($checks_reg + $checks_robust + $checks_opt, >= 41), verdicts PASS"
 rm -rf "$SMOKE_CACHE"
+
+echo "== deprecated-shim gate: crates/bench must use the Chooser API, not the legacy free functions"
+if grep -rnE '\bchoose_plan(_robust|_with_joint)?\s*\(' crates/bench/src; then
+    echo "deprecated chooser shim called from crates/bench — migrate to systems::choice::Chooser" >&2
+    exit 1
+fi
 
 echo "verify: all green"
