@@ -18,7 +18,7 @@
 //! that the two paths produce identical [`Measurement`]s; the design
 //! argument is recorded in `docs/DESIGN.md`.
 
-use robustmap_executor::{execute_count, ExecCtx, PlanSpec};
+use robustmap_executor::{execute_count_batched, ExecConfig, ExecCtx, PlanSpec};
 use robustmap_storage::{BufferPool, CostModel, Database, EvictionPolicy, IoStats, Session};
 use robustmap_systems::{SinglePredPlan, TwoPredPlan};
 use robustmap_workload::Workload;
@@ -95,20 +95,29 @@ impl MeasureConfig {
 pub struct SweepArena {
     session: Session,
     memory_bytes: usize,
+    exec_cfg: ExecConfig,
 }
 
 impl SweepArena {
     /// An arena measuring under `cfg`'s run-time conditions.
     pub fn new(cfg: &MeasureConfig) -> Self {
-        SweepArena { session: cfg.session(), memory_bytes: cfg.memory_bytes }
+        SweepArena {
+            session: cfg.session(),
+            memory_bytes: cfg.memory_bytes,
+            exec_cfg: ExecConfig::from_env(),
+        }
     }
 
     /// Execute `plan` under cold-session conditions and return its
-    /// measurement.
+    /// measurement.  Plans run through the batched executor; the simulated
+    /// charges are bit-identical to the row path's (see
+    /// `tests/batch_equivalence.rs`), so sweeps are faster but never
+    /// different.
     pub fn measure(&mut self, db: &Database, plan: &PlanSpec) -> Measurement {
         self.session.reset();
         let ctx = ExecCtx::new(db, &self.session, self.memory_bytes);
-        let stats = execute_count(plan, &ctx).expect("measured plans must be well-formed");
+        let stats = execute_count_batched(plan, &ctx, &self.exec_cfg)
+            .expect("measured plans must be well-formed");
         Measurement {
             seconds: stats.seconds,
             io: stats.io,

@@ -10,8 +10,10 @@ use std::cell::{Cell, RefCell};
 
 use robustmap_storage::{AccessKind, Database, FileId, IoStats, Row, Session, StorageError};
 
+use crate::batch::{BatchEmitter, ExecConfig, RowBatch};
 use crate::expr::Predicate;
 use crate::ops;
+use crate::ops::sort::PackedRows;
 use crate::plan::{FetchKind, PlanSpec};
 
 /// Errors raised during plan execution.
@@ -158,6 +160,55 @@ pub fn execute_collect(
     Ok((stats, rows))
 }
 
+/// Execute `plan` on the batch path, pushing output [`RowBatch`]es into
+/// `sink`.  The simulated clock, I/O counters, and per-operator stats are
+/// bit-identical to [`execute`]'s — `tests/batch_equivalence.rs` pins this
+/// across the whole plan catalog.
+pub fn execute_batched(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    cfg: &ExecConfig,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<ExecStats, ExecError> {
+    let t0 = ctx.session.elapsed();
+    let io0 = ctx.session.stats();
+    let rows = execute_node_batched(plan, ctx, cfg, 0, sink)?;
+    let mut operators = ctx.op_stats.borrow_mut();
+    let stats = ExecStats {
+        rows_out: rows,
+        seconds: ctx.session.elapsed() - t0,
+        io: ctx.session.stats().since(&io0),
+        spilled: ctx.spilled(),
+        operators: std::mem::take(&mut *operators),
+    };
+    Ok(stats)
+}
+
+/// Batched [`execute_count`]: the entry point the sweep arenas measure
+/// through.
+pub fn execute_count_batched(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    cfg: &ExecConfig,
+) -> Result<ExecStats, ExecError> {
+    execute_batched(plan, ctx, cfg, &mut |_| {})
+}
+
+/// Batched [`execute_collect`] (tests and small results only).
+pub fn execute_collect_batched(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    cfg: &ExecConfig,
+) -> Result<(ExecStats, Vec<Row>), ExecError> {
+    let mut rows = Vec::new();
+    let stats = execute_batched(plan, ctx, cfg, &mut |b| {
+        for i in 0..b.len() {
+            rows.push(b.row(i));
+        }
+    })?;
+    Ok((stats, rows))
+}
+
 fn run_fetch(
     heap: &robustmap_storage::HeapFile,
     rids: Vec<robustmap_storage::heap::Rid>,
@@ -245,10 +296,12 @@ fn execute_node(
             produced
         }
         PlanSpec::Join { left, right, left_key, right_key, algo, memory_bytes, project } => {
-            let mut lrows = Vec::new();
-            execute_node(left, ctx, depth + 1, &mut |r| lrows.push(*r))?;
-            let mut rrows = Vec::new();
-            execute_node(right, ctx, depth + 1, &mut |r| rrows.push(*r))?;
+            // Materialise the (fixed-arity) inputs packed; collection is
+            // charge-free either way.
+            let mut lrows = PackedRows::default();
+            execute_node(left, ctx, depth + 1, &mut |r| lrows.push(r.values()))?;
+            let mut rrows = PackedRows::default();
+            execute_node(right, ctx, depth + 1, &mut |r| rrows.push(r.values()))?;
             let mut produced = 0u64;
             let mut project_sink = |row: &Row| {
                 let out = project.apply(row);
@@ -305,6 +358,248 @@ fn execute_node(
             );
             execute_node(input, ctx, depth + 1, &mut |row| agg.push(row))?;
             agg.finish(sink)
+        }
+    };
+    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
+    Ok(rows)
+}
+
+fn run_fetch_batched(
+    heap: &robustmap_storage::HeapFile,
+    rids: Vec<robustmap_storage::heap::Rid>,
+    fetch: &FetchKind,
+    residual: &Predicate,
+    project: &crate::plan::Projection,
+    cfg: &ExecConfig,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    match fetch {
+        FetchKind::Traditional => {
+            ops::fetch::traditional_batched(heap, &rids, residual, project, cfg, ctx.session, sink)
+        }
+        FetchKind::Improved(fcfg) => ops::fetch::improved_batched(
+            heap,
+            rids,
+            fcfg,
+            residual,
+            project,
+            cfg,
+            ctx.session,
+            sink,
+        ),
+        FetchKind::BitmapSorted => {
+            ops::fetch::bitmap_sorted_batched(heap, &rids, residual, project, cfg, ctx.session, sink)
+        }
+    }
+}
+
+/// Output arity of a plan (what its sink receives per row) — the batch
+/// driver sizes [`RowBatch`] columns with it.
+fn plan_out_arity(plan: &PlanSpec, db: &Database) -> Result<usize, ExecError> {
+    Ok(match plan {
+        PlanSpec::TableScan { table, project, .. }
+        | PlanSpec::ParallelTableScan { table, project, .. } => {
+            project.resolve(db.table(*table).heap.schema().arity()).len()
+        }
+        PlanSpec::IndexFetch { scan, project, .. } => {
+            let index = db.index(scan.index);
+            project.resolve(db.table(index.table).heap.schema().arity()).len()
+        }
+        PlanSpec::IndexIntersect { left, project, .. } => {
+            let index = db.index(left.index);
+            project.resolve(db.table(index.table).heap.schema().arity()).len()
+        }
+        PlanSpec::CoveringIndexScan { scan, project, .. } => {
+            project.resolve(db.index(scan.index).tree.key_arity()).len()
+        }
+        PlanSpec::Mdam { index, project, .. } => {
+            project.resolve(db.index(*index).tree.key_arity()).len()
+        }
+        PlanSpec::CoveringRidJoin { left, right, project, .. } => {
+            let arity =
+                db.index(left.index).tree.key_arity() + db.index(right.index).tree.key_arity();
+            project.resolve(arity).len()
+        }
+        PlanSpec::Join { left, right, project, .. } => {
+            project.resolve(plan_out_arity(left, db)? + plan_out_arity(right, db)?).len()
+        }
+        PlanSpec::Sort { input, .. } => plan_out_arity(input, db)?,
+        PlanSpec::HashAgg { group_cols, aggs, .. } => group_cols.len() + aggs.len(),
+    })
+}
+
+/// The batched twin of [`execute_node`].  Every arm issues the same charge
+/// calls in the same order as its row twin; only row materialisation, sink
+/// granularity, and (for scans and fetches) column decoding differ.
+///
+/// Two operators keep row-at-a-time *input* edges on purpose: sort and
+/// hash aggregation interleave their own per-push charges with the child's
+/// production charges, so their subtrees run through [`execute_node`]
+/// unchanged and only their (charge-free) output emission is batched.
+fn execute_node_batched(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    cfg: &ExecConfig,
+    depth: usize,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    let t0 = ctx.session.elapsed();
+    let rows = match plan {
+        PlanSpec::TableScan { table, pred, project } => {
+            ops::table_scan::run_batched(ctx.db.table(*table), pred, project, cfg, ctx.session, sink)
+        }
+        PlanSpec::IndexFetch { scan, key_filter, fetch, residual, project } => {
+            let index = ctx.db.index(scan.index);
+            let rids = ops::index_scan::collect_rids_filtered(
+                index,
+                &scan.range,
+                key_filter,
+                ctx.session,
+                AccessKind::Sequential,
+            );
+            let heap = &ctx.db.table(index.table).heap;
+            run_fetch_batched(heap, rids, fetch, residual, project, cfg, ctx, sink)?
+        }
+        PlanSpec::CoveringIndexScan { scan, residual, project } => {
+            let index = ctx.db.index(scan.index);
+            ops::index_scan::run_covering_batched(
+                index,
+                &scan.range,
+                residual,
+                project,
+                cfg,
+                ctx.session,
+                sink,
+            )
+        }
+        PlanSpec::Mdam { index, col_ranges, project } => {
+            ops::mdam::run_batched(ctx.db.index(*index), col_ranges, project, cfg, ctx.session, sink)?
+        }
+        PlanSpec::IndexIntersect { left, right, algo, fetch, residual, project } => {
+            let li = ctx.db.index(left.index);
+            let ri = ctx.db.index(right.index);
+            if li.table != ri.table {
+                return Err(ExecError::BadPlan(
+                    "index intersection across different tables".into(),
+                ));
+            }
+            let lrids =
+                ops::index_scan::collect_rids(li, &left.range, ctx.session, AccessKind::Sequential);
+            let rrids =
+                ops::index_scan::collect_rids(ri, &right.range, ctx.session, AccessKind::Sequential);
+            let surviving = ops::rid_join::intersect_rids(lrids, rrids, *algo, ctx);
+            let heap = &ctx.db.table(li.table).heap;
+            run_fetch_batched(heap, surviving, fetch, residual, project, cfg, ctx, sink)?
+        }
+        PlanSpec::CoveringRidJoin { left, right, algo, project } => {
+            let li = ctx.db.index(left.index);
+            let ri = ctx.db.index(right.index);
+            if li.table != ri.table {
+                return Err(ExecError::BadPlan("covering rid join across different tables".into()));
+            }
+            let lentries =
+                ops::index_scan::collect_entries(li, &left.range, ctx.session, AccessKind::Sequential);
+            let rentries =
+                ops::index_scan::collect_entries(ri, &right.range, ctx.session, AccessKind::Sequential);
+            let proj = project.resolve(li.tree.key_arity() + ri.tree.key_arity());
+            let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+            ops::rid_join::covering_join(lentries, rentries, *algo, ctx, &mut |row| {
+                emitter.push_projected_slice(row.values(), &proj, sink);
+            });
+            emitter.flush(sink);
+            emitter.produced()
+        }
+        PlanSpec::Join { left, right, left_key, right_key, algo, memory_bytes, project } => {
+            // Children run batched; the join joins materialised inputs, so
+            // accumulating their batches into packed rows is the row
+            // path's sink in columnar clothing (both are charge-free).
+            let mut lrows = PackedRows::default();
+            execute_node_batched(left, ctx, cfg, depth + 1, &mut |b| {
+                for i in 0..b.len() {
+                    lrows.push(b.row(i).values());
+                }
+            })?;
+            let mut rrows = PackedRows::default();
+            execute_node_batched(right, ctx, cfg, depth + 1, &mut |b| {
+                for i in 0..b.len() {
+                    rrows.push(b.row(i).values());
+                }
+            })?;
+            let proj =
+                project.resolve(plan_out_arity(left, ctx.db)? + plan_out_arity(right, ctx.db)?);
+            let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+            let mut project_sink = |row: &Row| {
+                emitter.push_projected_slice(row.values(), &proj, sink);
+            };
+            match algo {
+                crate::plan::JoinAlgo::SortMerge => {
+                    ops::join::sort_merge_join(
+                        lrows,
+                        rrows,
+                        *left_key,
+                        *right_key,
+                        *memory_bytes,
+                        ctx,
+                        &mut project_sink,
+                    )?;
+                }
+                crate::plan::JoinAlgo::Hash { build_left } => {
+                    let (b, p, bk, pk, swap) = if *build_left {
+                        (lrows, rrows, *left_key, *right_key, false)
+                    } else {
+                        (rrows, lrows, *right_key, *left_key, true)
+                    };
+                    ops::join::hash_join(b, p, bk, pk, *memory_bytes, swap, ctx, &mut project_sink)?;
+                }
+            }
+            emitter.flush(sink);
+            emitter.produced()
+        }
+        PlanSpec::ParallelTableScan { table, pred, project, dop, skew_permille } => {
+            ops::parallel_scan::run_batched(
+                ctx.db.table(*table),
+                pred,
+                project,
+                *dop,
+                *skew_permille as f64 / 1000.0,
+                cfg,
+                ctx.session,
+                sink,
+            )?
+        }
+        PlanSpec::Sort { input, key_cols, mode, memory_bytes } => {
+            let mut sorter =
+                ops::sort::ExternalSorter::new(ctx, key_cols.clone(), *mode, *memory_bytes);
+            // Row-lockstep input edge (see the function doc).
+            execute_node(input, ctx, depth + 1, &mut |row| sorter.push(row))?;
+            let arity = plan_out_arity(input, ctx.db)?;
+            let identity: Vec<usize> = (0..arity).collect();
+            let mut emitter = BatchEmitter::new(arity, cfg.batch_rows);
+            let produced = sorter.finish(&mut |row| {
+                emitter.push_projected_slice(row.values(), &identity, sink);
+            });
+            emitter.flush(sink);
+            produced
+        }
+        PlanSpec::HashAgg { input, group_cols, aggs, mode, memory_bytes } => {
+            let mut agg = ops::agg::HashAggregator::new(
+                ctx,
+                group_cols.clone(),
+                aggs.clone(),
+                *mode,
+                *memory_bytes,
+            );
+            // Row-lockstep input edge (see the function doc).
+            execute_node(input, ctx, depth + 1, &mut |row| agg.push(row))?;
+            let arity = group_cols.len() + aggs.len();
+            let identity: Vec<usize> = (0..arity).collect();
+            let mut emitter = BatchEmitter::new(arity, cfg.batch_rows);
+            let produced = agg.finish(&mut |row| {
+                emitter.push_projected_slice(row.values(), &identity, sink);
+            });
+            emitter.flush(sink);
+            produced
         }
     };
     ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);

@@ -28,14 +28,22 @@
 //!
 //! Plans are described by [`plan::PlanSpec`] trees and executed by
 //! [`exec::execute`], which pushes rows into a caller-provided sink and
-//! charges all work to a [`robustmap_storage::Session`].
+//! charges all work to a [`robustmap_storage::Session`].  A vectorized
+//! twin, [`exec::execute_batched`], runs the same plans over columnar
+//! [`batch::RowBatch`] chunks with bit-identical simulated charges (see
+//! [`batch`] for the equivalence rules).
 
+pub mod batch;
 pub mod exec;
 pub mod expr;
 pub mod ops;
 pub mod plan;
 
-pub use exec::{execute, execute_collect, execute_count, ExecCtx, ExecError, ExecStats, OpStats};
+pub use batch::{BatchEmitter, ExecConfig, RowBatch, Selection};
+pub use exec::{
+    execute, execute_batched, execute_collect, execute_collect_batched, execute_count,
+    execute_count_batched, ExecCtx, ExecError, ExecStats, OpStats,
+};
 pub use expr::{ColRange, Predicate};
 pub use plan::{
     AggFn, FetchKind, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, JoinAlgo, KeyRange,

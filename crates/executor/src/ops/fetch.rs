@@ -18,8 +18,9 @@
 //! the access kinds they are charged.
 
 use robustmap_storage::heap::Rid;
-use robustmap_storage::{AccessKind, HeapFile, RidBitmap, Row, Session};
+use robustmap_storage::{AccessKind, HeapFile, RidBitmap, Row, Session, StorageError};
 
+use crate::batch::{col_from_bytes, radix_sort_by_u64_key, BatchEmitter, ExecConfig, RowBatch};
 use crate::exec::ExecError;
 use crate::expr::Predicate;
 use crate::plan::{ImprovedFetchConfig, Projection};
@@ -66,7 +67,9 @@ pub fn improved(
         // Sort cost: n log2 n comparisons.
         session.charge_compares(n * (64 - (n - 1).leading_zeros()) as u64);
     }
-    rids.sort_unstable();
+    // The simulated cost above is the contract; the real sort is free to be
+    // a radix sort (rids order by their u64 encoding).
+    radix_sort_by_u64_key(&mut rids, |r| r.to_u64());
     fetch_in_physical_order(heap, &rids, Some(cfg), residual, project, session, sink)
 }
 
@@ -142,6 +145,133 @@ fn fetch_in_physical_order(
         }
     }
     Ok(produced)
+}
+
+/// Read one record's bytes with exactly [`HeapFile::fetch`]'s charge
+/// sequence (page existence checked before any charge, then a page read of
+/// `kind`, then one row charge) — but without decoding the row.  The batch
+/// path evaluates residuals and gathers projections straight from these
+/// bytes.
+fn record_bytes<'h>(
+    heap: &'h HeapFile,
+    rid: Rid,
+    session: &Session,
+    kind: AccessKind,
+) -> Result<&'h [u8], ExecError> {
+    let page = heap.page(rid.page).ok_or(StorageError::InvalidRid(rid))?;
+    session.read_page(heap.page_id(rid.page), kind);
+    session.charge_rows(1);
+    Ok(page.get(rid.slot as usize).ok_or(StorageError::InvalidRid(rid))?)
+}
+
+/// Batched twin of [`traditional`].
+pub fn traditional_batched(
+    heap: &HeapFile,
+    rids: &[Rid],
+    residual: &Predicate,
+    project: &Projection,
+    cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    let proj = project.resolve(heap.schema().arity());
+    let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+    for &rid in rids {
+        let bytes = record_bytes(heap, rid, session, AccessKind::Random)?;
+        if residual.eval_values(|c| col_from_bytes(bytes, c), session) {
+            emitter.push_projected_bytes(bytes, &proj, sink);
+        }
+    }
+    emitter.flush(sink);
+    Ok(emitter.produced())
+}
+
+/// Batched twin of [`improved`].
+pub fn improved_batched(
+    heap: &HeapFile,
+    mut rids: Vec<Rid>,
+    cfg: &ImprovedFetchConfig,
+    residual: &Predicate,
+    project: &Projection,
+    exec_cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    let n = rids.len() as u64;
+    if n > 0 {
+        session.charge_compares(n * (64 - (n - 1).leading_zeros()) as u64);
+    }
+    radix_sort_by_u64_key(&mut rids, |r| r.to_u64());
+    fetch_in_physical_order_batched(heap, &rids, Some(cfg), residual, project, exec_cfg, session, sink)
+}
+
+/// Batched twin of [`bitmap_sorted`].
+pub fn bitmap_sorted_batched(
+    heap: &HeapFile,
+    rids: &[Rid],
+    residual: &Predicate,
+    project: &Projection,
+    cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    session.charge_hashes(rids.len() as u64);
+    let bitmap = RidBitmap::from_rids(rids.iter().copied());
+    let ordered: Vec<Rid> = bitmap.iter_rids().collect();
+    fetch_in_physical_order_batched(heap, &ordered, None, residual, project, cfg, session, sink)
+}
+
+/// Batched twin of [`fetch_in_physical_order`]: the gap-regime page reads
+/// are identical, and each row fetch replays [`HeapFile::fetch`]'s charges
+/// via [`record_bytes`].
+#[allow(clippy::too_many_arguments)]
+fn fetch_in_physical_order_batched(
+    heap: &HeapFile,
+    rids: &[Rid],
+    cfg: Option<&ImprovedFetchConfig>,
+    residual: &Predicate,
+    project: &Projection,
+    exec_cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rids must be in physical order");
+    let prefetch_gap = cfg.map_or(ImprovedFetchConfig::default().prefetch_gap, |c| c.prefetch_gap);
+    let scan_gap = cfg.map(|c| c.scan_gap);
+    let proj = project.resolve(heap.schema().arity());
+    let mut emitter = BatchEmitter::new(proj.len(), exec_cfg.batch_rows);
+    let mut prev_page: Option<u32> = None;
+    for &rid in rids {
+        match prev_page {
+            Some(p) if rid.page == p => {}
+            Some(p) => {
+                let gap = rid.page - p;
+                match scan_gap {
+                    Some(sg) if gap <= sg => {
+                        for skipped in p + 1..=rid.page {
+                            session.read_page(heap.page_id(skipped), AccessKind::Sequential);
+                        }
+                    }
+                    _ if gap <= prefetch_gap => {
+                        session.read_page(heap.page_id(rid.page), AccessKind::SinglePage);
+                    }
+                    _ => {
+                        session.read_page(heap.page_id(rid.page), AccessKind::Random);
+                    }
+                }
+            }
+            None => {
+                session.read_page(heap.page_id(rid.page), AccessKind::Random);
+            }
+        }
+        prev_page = Some(rid.page);
+        let bytes = record_bytes(heap, rid, session, AccessKind::Random)?;
+        if residual.eval_values(|c| col_from_bytes(bytes, c), session) {
+            emitter.push_projected_bytes(bytes, &proj, sink);
+        }
+    }
+    emitter.flush(sink);
+    Ok(emitter.produced())
 }
 
 #[cfg(test)]
@@ -314,6 +444,58 @@ mod tests {
         // Physical order, but every new page is an individual read.
         assert_eq!(stats.seq_reads, 0, "stats: {stats:?}");
         assert!(stats.single_reads > 0);
+    }
+
+    #[test]
+    fn batched_fetch_disciplines_are_bit_identical() {
+        let (db, t, rids) = setup(4096, 1023);
+        let heap = &db.table(t).heap;
+        let residual = Predicate::single(ColRange::at_most(1, 2047));
+        let proj = Projection::Columns(vec![1, 0]);
+        let bcfg = ExecConfig::with_batch_rows(100); // non-power-of-two
+        let icfg = ImprovedFetchConfig::default();
+        type RowDriver<'a> = &'a dyn Fn(&Session, &mut dyn FnMut(&Row)) -> u64;
+        type BatchDriver<'a> = &'a dyn Fn(&Session, &mut dyn FnMut(&RowBatch)) -> u64;
+        let row_run = |f: RowDriver| {
+            let s = Session::with_pool_pages(64);
+            let mut rows = Vec::new();
+            let n = f(&s, &mut |r: &Row| rows.push(r.values().to_vec()));
+            (n, rows, s.elapsed().to_bits(), s.stats())
+        };
+        let batch_run = |f: BatchDriver| {
+            let s = Session::with_pool_pages(64);
+            let mut rows = Vec::new();
+            let n = f(&s, &mut |b: &RowBatch| {
+                for i in 0..b.len() {
+                    rows.push(b.row(i).values().to_vec());
+                }
+            });
+            (n, rows, s.elapsed().to_bits(), s.stats())
+        };
+        // Traditional.
+        assert_eq!(
+            row_run(&|s, sink| traditional(heap, &rids, &residual, &proj, s, sink).unwrap()),
+            batch_run(&|s, sink| {
+                traditional_batched(heap, &rids, &residual, &proj, &bcfg, s, sink).unwrap()
+            }),
+        );
+        // Improved.
+        assert_eq!(
+            row_run(&|s, sink| {
+                improved(heap, rids.clone(), &icfg, &residual, &proj, s, sink).unwrap()
+            }),
+            batch_run(&|s, sink| {
+                improved_batched(heap, rids.clone(), &icfg, &residual, &proj, &bcfg, s, sink)
+                    .unwrap()
+            }),
+        );
+        // Bitmap-sorted.
+        assert_eq!(
+            row_run(&|s, sink| bitmap_sorted(heap, &rids, &residual, &proj, s, sink).unwrap()),
+            batch_run(&|s, sink| {
+                bitmap_sorted_batched(heap, &rids, &residual, &proj, &bcfg, s, sink).unwrap()
+            }),
+        );
     }
 
     #[test]

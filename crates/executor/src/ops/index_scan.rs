@@ -9,6 +9,7 @@ use robustmap_storage::btree::Entry;
 use robustmap_storage::heap::Rid;
 use robustmap_storage::{AccessKind, IndexDef, Row, Session};
 
+use crate::batch::{BatchEmitter, ExecConfig, RowBatch};
 use crate::expr::Predicate;
 use crate::plan::{KeyRange, Projection};
 
@@ -90,6 +91,30 @@ pub fn run_covering(
         }
     });
     produced
+}
+
+/// Batched twin of [`run_covering`]: residual evaluation reads key values
+/// by position (same short-circuit charges as the row path's `eval` on the
+/// materialised key row) and survivors gather straight into the output
+/// batch without an intermediate [`Row`].
+pub fn run_covering_batched(
+    index: &IndexDef,
+    range: &KeyRange,
+    residual: &Predicate,
+    project: &Projection,
+    cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> u64 {
+    let proj = project.resolve(index.tree.key_arity());
+    let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+    index.tree.scan_range(&range.lo, &range.hi, session, AccessKind::Sequential, |(key, _)| {
+        if residual.eval_values(|c| key.get(c), session) {
+            emitter.push_projected_slice(key.values(), &proj, sink);
+        }
+    });
+    emitter.flush(sink);
+    emitter.produced()
 }
 
 #[cfg(test)]

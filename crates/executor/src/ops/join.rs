@@ -17,25 +17,90 @@
 //! [`robustmap_storage::MAX_COLUMNS`] limit); callers project children
 //! accordingly.
 
-use robustmap_storage::{AccessKind, FxBuildHasher, FxHashMap, PageId, Row, PAGE_SIZE};
+use robustmap_storage::{AccessKind, PageId, Row, PAGE_SIZE};
 
 use crate::exec::{ExecCtx, ExecError};
-use crate::ops::sort::ExternalSorter;
+use crate::ops::sort::{ExternalSorter, PackedRows};
 use crate::plan::SpillMode;
 
-fn combined(left: &Row, right: &Row) -> Row {
-    let mut out = *left;
-    for &v in right.values() {
+fn combined(left: &[i64], right: &[i64]) -> Row {
+    let mut out = Row::from_slice(left);
+    for &v in right {
         out.push(v);
     }
     out
 }
 
-/// Sort-merge join of two materialised inputs on single key columns.
-/// Symmetric: swapping the inputs (and keys) gives the same cost.
+const NIL: u32 = u32::MAX;
+
+/// Flat open-addressing index from an `i64` key to the head/tail of that
+/// key's chain (threaded through a caller-owned `next` array).  Replaces a
+/// general-purpose hash map in the join build/probe loops: linear probing
+/// over parallel arrays at ≤0.5 load factor, with the key inline, turns
+/// every lookup into one multiply and (almost always) one cache line.
+/// Purely an in-memory structure — simulated hash charges are analytic
+/// per-row counts and don't depend on the table's layout.
+struct ChainTable {
+    mask: usize,
+    keys: Vec<i64>,
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+}
+
+impl ChainTable {
+    fn with_capacity(rows: usize) -> Self {
+        let cap = (rows * 2).next_power_of_two().max(16);
+        ChainTable { mask: cap - 1, keys: vec![0; cap], heads: vec![NIL; cap], tails: vec![0; cap] }
+    }
+
+    #[inline]
+    fn slot(&self, key: i64) -> usize {
+        ((key as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask
+    }
+
+    /// Append build-row index `i` to `key`'s chain (creating it if new).
+    #[inline]
+    fn insert(&mut self, key: i64, i: u32, next: &mut [u32]) {
+        let mut s = self.slot(key);
+        loop {
+            if self.heads[s] == NIL {
+                self.keys[s] = key;
+                self.heads[s] = i;
+                self.tails[s] = i;
+                return;
+            }
+            if self.keys[s] == key {
+                next[self.tails[s] as usize] = i;
+                self.tails[s] = i;
+                return;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// First build-row index whose key is `key`, if any.
+    #[inline]
+    fn head(&self, key: i64) -> Option<u32> {
+        let mut s = self.slot(key);
+        loop {
+            let h = self.heads[s];
+            if h == NIL {
+                return None;
+            }
+            if self.keys[s] == key {
+                return Some(h);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+}
+
+/// Sort-merge join of two materialised (packed) inputs on single key
+/// columns.  Symmetric: swapping the inputs (and keys) gives the same
+/// cost.
 pub fn sort_merge_join(
-    left: Vec<Row>,
-    right: Vec<Row>,
+    left: PackedRows,
+    right: PackedRows,
     left_key: usize,
     right_key: usize,
     memory_bytes: usize,
@@ -44,26 +109,31 @@ pub fn sort_merge_join(
 ) -> Result<u64, ExecError> {
     // Each input gets half the grant, as a memory-broker would split it.
     let half = (memory_bytes / 2).max(1);
-    let sort = |rows: Vec<Row>, key: usize| -> Vec<Row> {
+    // Sorted inputs land in packed `(values, arity, rows)` buffers — the
+    // merge below walks bare i64 words instead of 72-byte `Row`s.
+    let sort = |rows: PackedRows, key: usize| -> (Vec<i64>, usize, usize) {
         let mut sorter = ExternalSorter::new(ctx, vec![key], SpillMode::Graceful, half);
-        for r in &rows {
-            sorter.push(r);
+        for i in 0..rows.len() {
+            sorter.push_values(rows.row(i));
         }
-        let mut out = Vec::with_capacity(rows.len());
-        sorter.finish(&mut |r| out.push(*r));
-        out
+        let arity = rows.arity();
+        let mut vals = Vec::with_capacity(rows.len() * arity);
+        let n = sorter.finish(&mut |r| vals.extend_from_slice(r.values()));
+        (vals, arity, n as usize)
     };
-    let left = sort(left, left_key);
-    let right = sort(right, right_key);
+    let (lv, la, ln) = sort(left, left_key);
+    let (rv, ra, rn) = sort(right, right_key);
+    let lrow = |i: usize| &lv[i * la..(i + 1) * la];
+    let rrow = |j: usize| &rv[j * ra..(j + 1) * ra];
 
     let session = ctx.session;
     let mut produced = 0u64;
     let (mut i, mut j) = (0usize, 0usize);
     let mut compares = 0u64;
-    while i < left.len() && j < right.len() {
+    while i < ln && j < rn {
         compares += 1;
-        let lk = left[i].get(left_key);
-        let rk = right[j].get(right_key);
+        let lk = lrow(i)[left_key];
+        let rk = rrow(j)[right_key];
         match lk.cmp(&rk) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
@@ -71,15 +141,18 @@ pub fn sort_merge_join(
                 // Emit the cross product of the two equal-key groups.
                 let j_group_end = {
                     let mut e = j;
-                    while e < right.len() && right[e].get(right_key) == rk {
+                    while e < rn && rrow(e)[right_key] == rk {
                         e += 1;
                     }
                     e
                 };
-                while i < left.len() && left[i].get(left_key) == lk {
-                    for r in &right[j..j_group_end] {
+                while i < ln && lrow(i)[left_key] == lk {
+                    for jj in j..j_group_end {
                         session.charge_rows(1);
-                        let row = combined(&left[i], r);
+                        let mut row = Row::from_slice(lrow(i));
+                        for &v in rrow(jj) {
+                            row.push(v);
+                        }
                         sink(&row);
                         produced += 1;
                     }
@@ -104,8 +177,8 @@ pub fn sort_merge_join(
 /// stay `left ++ right`).
 #[allow(clippy::too_many_arguments)]
 pub fn hash_join(
-    build: Vec<Row>,
-    probe: Vec<Row>,
+    build: PackedRows,
+    probe: PackedRows,
     build_key: usize,
     probe_key: usize,
     memory_bytes: usize,
@@ -114,26 +187,34 @@ pub fn hash_join(
     sink: &mut dyn FnMut(&Row),
 ) -> Result<u64, ExecError> {
     let session = ctx.session;
-    let row_bytes = |r: &Row| r.arity() * 8 + 16;
-    let build_bytes: usize = build.iter().map(row_bytes).sum::<usize>() * 2;
+    // Memory accounting stays per-`Row`-sized (arity * 8 payload + 16
+    // bookkeeping), independent of the packed in-memory layout.
+    let row_bytes = |arity: usize| arity * 8 + 16;
+    let build_bytes: usize = build.len() * row_bytes(build.arity()) * 2;
     if build_bytes <= memory_bytes || build.is_empty() {
         return Ok(hash_join_in_memory(&build, &probe, build_key, probe_key, swap_output, ctx, sink));
     }
     // Grace partitioning: hash both sides to partitions, write + read both.
+    // Partitions hold `u32` indices into the input buffers rather than row
+    // copies — the charges are computed from per-partition row counts, so
+    // the representation is invisible to the simulation.
     ctx.note_spill();
     let partitions = (build_bytes / memory_bytes.max(1) + 1).next_power_of_two();
     session.charge_hashes((build.len() + probe.len()) as u64);
-    let mut build_parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
-    let mut probe_parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+    let mut build_parts: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+    let mut probe_parts: Vec<Vec<u32>> = vec![Vec::new(); partitions];
     let hash = |v: i64| (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize;
-    for r in build {
-        build_parts[hash(r.get(build_key)) & (partitions - 1)].push(r);
+    for i in 0..build.len() {
+        build_parts[hash(build.row(i)[build_key]) & (partitions - 1)].push(i as u32);
     }
-    for r in probe {
-        probe_parts[hash(r.get(probe_key)) & (partitions - 1)].push(r);
+    for i in 0..probe.len() {
+        probe_parts[hash(probe.row(i)[probe_key]) & (partitions - 1)].push(i as u32);
     }
-    for part in build_parts.iter().chain(probe_parts.iter()) {
-        let bytes: usize = part.iter().map(row_bytes).sum();
+    let part_io = |part: &[u32], rows: &PackedRows| {
+        // One operator's rows all share an arity, so the partition's byte
+        // total is a multiply, not a gather over the partition's rows.
+        let bytes: usize =
+            if part.is_empty() { 0 } else { part.len() * row_bytes(rows.arity()) };
         let pages = bytes.div_ceil(PAGE_SIZE) as u32;
         let file = ctx.alloc_temp_file();
         for p in 0..pages {
@@ -143,17 +224,68 @@ pub fn hash_join(
             session.read_page(PageId::new(file, p), AccessKind::Sequential);
         }
         session.invalidate_file(file);
+    };
+    for part in &build_parts {
+        part_io(part, &build);
+    }
+    for part in &probe_parts {
+        part_io(part, &probe);
     }
     let mut produced = 0u64;
     for (b, p) in build_parts.into_iter().zip(probe_parts) {
-        produced += hash_join_in_memory(&b, &p, build_key, probe_key, swap_output, ctx, sink);
+        produced +=
+            hash_join_indexed(&build, &b, &probe, &p, build_key, probe_key, swap_output, ctx, sink);
     }
     Ok(produced)
 }
 
+/// One grace partition's in-memory join, working through index slices into
+/// the original inputs (no row copies).  Charges and output are identical
+/// to running [`hash_join_in_memory`] on materialised partition vectors.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_indexed(
+    build: &PackedRows,
+    build_idx: &[u32],
+    probe: &PackedRows,
+    probe_idx: &[u32],
+    build_key: usize,
+    probe_key: usize,
+    swap_output: bool,
+    ctx: &ExecCtx<'_>,
+    sink: &mut dyn FnMut(&Row),
+) -> u64 {
+    let session = ctx.session;
+    session.charge_hashes(2 * build_idx.len() as u64);
+    let mut table = ChainTable::with_capacity(build_idx.len());
+    let mut next: Vec<u32> = vec![NIL; build_idx.len()];
+    for (i, &bi) in build_idx.iter().enumerate() {
+        table.insert(build.row(bi as usize)[build_key], i as u32, &mut next);
+    }
+    session.charge_hashes(probe_idx.len() as u64);
+    let mut produced = 0u64;
+    for &pi in probe_idx {
+        let p = probe.row(pi as usize);
+        if let Some(head) = table.head(p[probe_key]) {
+            let mut idx = head;
+            loop {
+                let b = build.row(build_idx[idx as usize] as usize);
+                session.charge_rows(1);
+                let row = if swap_output { combined(p, b) } else { combined(b, p) };
+                sink(&row);
+                produced += 1;
+                idx = next[idx as usize];
+                if idx == NIL {
+                    break;
+                }
+            }
+        }
+    }
+    produced
+}
+
 fn hash_join_in_memory(
-    build: &[Row],
-    probe: &[Row],
+    build: &PackedRows,
+    probe: &PackedRows,
     build_key: usize,
     probe_key: usize,
     swap_output: bool,
@@ -163,33 +295,23 @@ fn hash_join_in_memory(
     let session = ctx.session;
     // Build costs double per row (insertion + growth), as in the rid join.
     session.charge_hashes(2 * build.len() as u64);
-    // Chained layout: the map holds `(head, tail)` indices into `build` per
-    // key and `next` threads same-key rows in insertion order — one shared
-    // allocation instead of a `Vec` per distinct key, which matters when a
-    // million-row build side has (near-)unique keys.
-    const NIL: u32 = u32::MAX;
-    let mut table: FxHashMap<i64, (u32, u32)> =
-        FxHashMap::with_capacity_and_hasher(build.len(), FxBuildHasher::default());
+    // Chained layout: the table holds `(head, tail)` indices into `build`
+    // per key and `next` threads same-key rows in insertion order — one
+    // shared allocation instead of a `Vec` per distinct key, which matters
+    // when a million-row build side has (near-)unique keys.
+    let mut table = ChainTable::with_capacity(build.len());
     let mut next: Vec<u32> = vec![NIL; build.len()];
-    for (i, r) in build.iter().enumerate() {
-        match table.entry(r.get(build_key)) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let tail = e.get().1;
-                next[tail as usize] = i as u32;
-                e.get_mut().1 = i as u32;
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert((i as u32, i as u32));
-            }
-        }
+    for i in 0..build.len() {
+        table.insert(build.row(i)[build_key], i as u32, &mut next);
     }
     session.charge_hashes(probe.len() as u64);
     let mut produced = 0u64;
-    for p in probe {
-        if let Some(&(head, _)) = table.get(&p.get(probe_key)) {
+    for pi in 0..probe.len() {
+        let p = probe.row(pi);
+        if let Some(head) = table.head(p[probe_key]) {
             let mut idx = head;
             loop {
-                let b = &build[idx as usize];
+                let b = build.row(idx as usize);
                 session.charge_rows(1);
                 let row = if swap_output { combined(p, b) } else { combined(b, p) };
                 sink(&row);
@@ -209,8 +331,12 @@ mod tests {
     use super::*;
     use crate::ops::testutil::demo_db;
 
-    fn rows_of(pairs: &[(i64, i64)]) -> Vec<Row> {
-        pairs.iter().map(|&(k, v)| Row::from_slice(&[k, v])).collect()
+    fn rows_of(pairs: &[(i64, i64)]) -> PackedRows {
+        let mut rows = PackedRows::default();
+        for &(k, v) in pairs {
+            rows.push(&[k, v]);
+        }
+        rows
     }
 
     fn reference_join(left: &[(i64, i64)], right: &[(i64, i64)]) -> Vec<Vec<i64>> {

@@ -14,6 +14,7 @@
 use robustmap_storage::btree::Cursor;
 use robustmap_storage::{AccessKind, IndexDef, Key, Row, Session};
 
+use crate::batch::{BatchEmitter, ExecConfig, RowBatch};
 use crate::exec::ExecError;
 use crate::plan::Projection;
 
@@ -27,6 +28,45 @@ pub fn run(
     session: &Session,
     sink: &mut dyn FnMut(&Row),
 ) -> Result<u64, ExecError> {
+    let mut produced = 0u64;
+    run_inner(index, col_ranges, session, &mut |key| {
+        let row = Row::from_slice(key.values());
+        let out = project.apply(&row);
+        sink(&out);
+        produced += 1;
+    })?;
+    Ok(produced)
+}
+
+/// Batched twin of [`run`]: the identical skip/seek driver, with qualifying
+/// keys gathered into output batches instead of materialised one row at a
+/// time.  Emission is charge-free, so the two paths are bit-identical on
+/// the simulated clock by construction.
+pub fn run_batched(
+    index: &IndexDef,
+    col_ranges: &[(i64, i64)],
+    project: &Projection,
+    cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    let proj = project.resolve(index.tree.key_arity());
+    let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+    run_inner(index, col_ranges, session, &mut |key| {
+        emitter.push_projected_slice(key.values(), &proj, sink);
+    })?;
+    emitter.flush(sink);
+    Ok(emitter.produced())
+}
+
+/// The MDAM driver shared by the row and batch paths.  All charges happen
+/// here; `emit` receives each qualifying key and must not charge.
+fn run_inner(
+    index: &IndexDef,
+    col_ranges: &[(i64, i64)],
+    session: &Session,
+    emit: &mut dyn FnMut(&Key),
+) -> Result<(), ExecError> {
     let arity = index.tree.key_arity();
     if col_ranges.len() != arity {
         return Err(ExecError::BadPlan(format!(
@@ -36,7 +76,7 @@ pub fn run(
     }
     for &(lo, hi) in col_ranges {
         if lo > hi {
-            return Ok(0); // empty box
+            return Ok(()); // empty box
         }
     }
 
@@ -46,7 +86,6 @@ pub fn run(
     // all-distinct prefixes, every "skip" lands on the very next entry).
     const SKIP_SCAN_LIMIT: u32 = 8;
 
-    let mut produced = 0u64;
     // Start at the low corner of the box.
     let low_corner: Vec<i64> = col_ranges.iter().map(|&(lo, _)| lo).collect();
     let mut cursor = index.tree.seek(&Key::new(&low_corner), session);
@@ -69,12 +108,7 @@ pub fn run(
         session.charge_compares(arity as u64);
 
         match violation {
-            None => {
-                let row = Row::from_slice(key.values());
-                let out = project.apply(&row);
-                sink(&out);
-                produced += 1;
-            }
+            None => emit(&key),
             Some((0, false)) => break, // leading column beyond its range: done
             Some((j, below_lo)) => {
                 let target = if below_lo {
@@ -116,7 +150,7 @@ pub fn run(
             }
         }
     }
-    Ok(produced)
+    Ok(())
 }
 
 #[cfg(test)]

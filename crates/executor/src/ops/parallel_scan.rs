@@ -12,8 +12,9 @@
 //! `skew = 0` is an even split, `skew = 1` serialises everything on one
 //! worker (no speedup at all).
 
-use robustmap_storage::{BufferPool, Row, Session, Table};
+use robustmap_storage::{AccessKind, BufferPool, Row, Session, Table};
 
+use crate::batch::{col_from_bytes, BatchEmitter, ExecConfig, RowBatch, Selection};
 use crate::exec::ExecError;
 use crate::expr::Predicate;
 use crate::plan::Projection;
@@ -78,6 +79,90 @@ pub fn run(
     session.clock().charge(makespan);
     session.clock().charge(session.model().parallel_startup * dop as f64);
     Ok(produced)
+}
+
+/// Batched twin of [`run`]: the same worker split and private clocks, with
+/// each worker's partition scanned page-at-a-time through a free selection
+/// bitmap.  The per-row comparison charges (full term count on a match,
+/// one on a miss) are replayed in slot order, so every worker clock — and
+/// therefore the makespan — is bit-identical to the row path's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched(
+    table: &Table,
+    pred: &Predicate,
+    project: &Projection,
+    dop: u32,
+    skew: f64,
+    cfg: &ExecConfig,
+    session: &Session,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
+    if dop == 0 {
+        return Err(ExecError::BadPlan("parallel scan with dop = 0".into()));
+    }
+    if !(0.0..=1.0).contains(&skew) {
+        return Err(ExecError::BadPlan(format!("skew {skew} outside [0, 1]")));
+    }
+    let heap = &table.heap;
+    let pages = heap.page_count();
+    let dop = dop.min(pages.max(1));
+    let fair = pages as f64 / dop as f64;
+    let w0_pages = (fair + skew * (pages as f64 - fair)).round().min(pages as f64) as u32;
+    let rest = pages - w0_pages;
+    let per_rest = if dop > 1 { rest as f64 / (dop - 1) as f64 } else { 0.0 };
+
+    let proj = project.resolve(heap.schema().arity());
+    let terms = pred.terms();
+    let match_compares = terms.len().max(1) as u64;
+    let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
+    let mut term_cols: Vec<Vec<i64>> = vec![Vec::new(); terms.len()];
+    let mut slots: Vec<u32> = Vec::new();
+    let mut sel = Selection::new();
+    let mut makespan = 0.0f64;
+    let mut start = 0u32;
+    for worker in 0..dop {
+        let len = if worker == 0 {
+            w0_pages
+        } else if worker == dop - 1 {
+            pages - start
+        } else {
+            per_rest.round() as u32
+        };
+        let end = (start + len).min(pages);
+        let worker_session = Session::new(
+            session.model().clone(),
+            BufferPool::new(session.pool_capacity() / dop as usize, Default::default()),
+        );
+        for page_no in start..end {
+            worker_session.read_page(heap.page_id(page_no), AccessKind::Sequential);
+            let page = heap.page(page_no).expect("page number in range");
+            slots.clear();
+            term_cols.iter_mut().for_each(|c| c.clear());
+            for (slot, bytes) in page.iter() {
+                slots.push(slot as u32);
+                for (col, t) in term_cols.iter_mut().zip(terms) {
+                    col.push(col_from_bytes(bytes, t.col));
+                }
+            }
+            let refs: Vec<&[i64]> = term_cols.iter().map(|c| c.as_slice()).collect();
+            pred.eval_batch_free(&refs, slots.len(), &mut sel);
+            for i in 0..slots.len() {
+                worker_session.charge_compares(if sel.get(i) { match_compares } else { 1 });
+            }
+            sel.for_each_set(|i| {
+                let bytes = page.get(slots[i] as usize).expect("selected slot is live");
+                emitter.push_projected_bytes(bytes, &proj, sink);
+            });
+            worker_session.charge_rows(page.live_records() as u64);
+        }
+        makespan = makespan.max(worker_session.elapsed());
+        session.clock().add_counters(&worker_session.stats());
+        start = end;
+    }
+    session.clock().charge(makespan);
+    session.clock().charge(session.model().parallel_startup * dop as f64);
+    emitter.flush(sink);
+    Ok(emitter.produced())
 }
 
 #[cfg(test)]

@@ -52,8 +52,10 @@ pub fn intersect_rids(
 fn merge_intersect(mut left: Vec<Rid>, mut right: Vec<Rid>, session: &Session) -> Vec<Rid> {
     charge_sort(session, left.len() as u64);
     charge_sort(session, right.len() as u64);
-    left.sort_unstable();
-    right.sort_unstable();
+    // Charged as comparison sorts above; executed as radix sorts (rids
+    // order by their u64 encoding).
+    crate::batch::radix_sort_by_u64_key(&mut left, |r| r.to_u64());
+    crate::batch::radix_sort_by_u64_key(&mut right, |r| r.to_u64());
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     let mut compares = 0u64;
@@ -172,7 +174,7 @@ fn combined_row(left_key: &robustmap_storage::Key, right_key: &robustmap_storage
 fn sort_entries_by_rid(entries: &mut Vec<Entry>) {
     let mut order: Vec<(u64, u32)> =
         entries.iter().enumerate().map(|(i, &(_, rid))| (rid.to_u64(), i as u32)).collect();
-    order.sort_unstable();
+    crate::batch::radix_sort_by_u64_key(&mut order, |&(r, _)| r);
     *entries = order.iter().map(|&(_, i)| entries[i as usize]).collect();
 }
 

@@ -158,6 +158,15 @@ impl Projection {
             Projection::Columns(cols) => row.project(cols),
         }
     }
+
+    /// Resolve into explicit source positions for an input of `arity`
+    /// columns (the batch executor gathers columns by position).
+    pub fn resolve(&self, arity: usize) -> Vec<usize> {
+        match self {
+            Projection::All => (0..arity).collect(),
+            Projection::Columns(cols) => cols.clone(),
+        }
+    }
 }
 
 /// A physical plan.  Every execution choice the paper hints (index usage,

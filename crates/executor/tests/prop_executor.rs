@@ -5,8 +5,9 @@
 
 use proptest::prelude::*;
 use robustmap_executor::{
-    execute_collect, AggFn, ColRange, ExecCtx, FetchKind, ImprovedFetchConfig, IndexRangeSpec,
-    IntersectAlgo, KeyRange, PlanSpec, Predicate, Projection, SpillMode,
+    execute_collect, execute_collect_batched, AggFn, ColRange, ExecConfig, ExecCtx, FetchKind,
+    ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, KeyRange, PlanSpec, Predicate, Projection,
+    Selection, SpillMode,
 };
 use robustmap_storage::{ColumnType, Database, Row, Schema, Session, TableId};
 
@@ -227,6 +228,106 @@ proptest! {
         prop_assert_eq!(got.len(), want.len());
         for (row, (&g, &(cnt, sum, mn, mx))) in got.iter().zip(want.iter()) {
             prop_assert_eq!(row.values(), &[g, cnt, sum, mn, mx]);
+        }
+    }
+
+    /// The branch-free batched predicate evaluation equals per-row
+    /// short-circuit evaluation on arbitrary rows and predicates: the same
+    /// selection bits AND the same number of charged comparisons (the
+    /// batch path must reconstruct exactly how many terms the row path
+    /// would have examined before short-circuiting).  Includes the empty
+    /// batch (`rows` may be filtered to nothing upstream, so n = 0 must
+    /// work) via the 0-row lower bound.
+    #[test]
+    fn batched_predicate_matches_per_row_bits_and_charges(
+        rows in prop::collection::vec((-50i64..50, -50i64..50, -50i64..50), 0..300),
+        terms in prop::collection::vec((0usize..3, -60i64..60, -60i64..60), 0..4),
+    ) {
+        let pred = Predicate::all_of(
+            terms.iter().map(|&(c, lo, hi)| ColRange::between(c, lo, hi)).collect(),
+        );
+        let n = rows.len();
+        // Column-major gather, one slice per predicate term.
+        let term_cols: Vec<Vec<i64>> = pred
+            .terms()
+            .iter()
+            .map(|t| rows.iter().map(|r| [r.0, r.1, r.2][t.col]).collect())
+            .collect();
+        let refs: Vec<&[i64]> = term_cols.iter().map(|c| c.as_slice()).collect();
+
+        let row_session = Session::with_pool_pages(0);
+        let row_bits: Vec<bool> = rows
+            .iter()
+            .map(|&(a, b, c)| pred.eval(&Row::from_slice(&[a, b, c]), &row_session))
+            .collect();
+
+        let batch_session = Session::with_pool_pages(0);
+        let mut sel = Selection::new();
+        pred.eval_batch(&refs, n, &batch_session, &mut sel);
+        let batch_bits: Vec<bool> = (0..n).map(|i| sel.get(i)).collect();
+
+        prop_assert_eq!(&batch_bits, &row_bits);
+        prop_assert_eq!(
+            batch_session.stats().cpu_compares,
+            row_session.stats().cpu_compares,
+            "comparison charges diverged"
+        );
+        // The charge-free variant selects the same rows.
+        let mut free = Selection::new();
+        pred.eval_batch_free(&refs, n, &mut free);
+        prop_assert_eq!((0..n).map(|i| free.get(i)).collect::<Vec<_>>(), row_bits);
+    }
+
+    /// Row and batch execution agree — stats bit-for-bit, rows
+    /// value-for-value in order — for every plan shape, at *any* batch
+    /// size from the degenerate 1 upward.  Results are almost never a
+    /// multiple of the batch size, so partial final batches are exercised
+    /// constantly; `ta` below every value makes empty results routine.
+    #[test]
+    fn batched_execution_matches_row_execution_at_any_batch_size(
+        rows in rows_strategy(),
+        ta in -60i64..60,
+        tb in -60i64..60,
+        batch_rows in 1usize..1300,
+    ) {
+        let (mut db, t) = db_from(&rows);
+        let idx_a = db.create_index("ia", t, &[0]).unwrap();
+        let idx_ab = db.create_index("iab", t, &[0, 1]).unwrap();
+        let plans = vec![
+            PlanSpec::TableScan {
+                table: t,
+                pred: Predicate::all_of(vec![ColRange::at_most(0, ta), ColRange::at_most(1, tb)]),
+                project: Projection::Columns(vec![2, 0]),
+            },
+            PlanSpec::IndexFetch {
+                scan: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+                key_filter: Predicate::always_true(),
+                fetch: FetchKind::Improved(ImprovedFetchConfig::default()),
+                residual: Predicate::single(ColRange::at_most(1, tb)),
+                project: Projection::All,
+            },
+            PlanSpec::CoveringIndexScan {
+                scan: IndexRangeSpec { index: idx_ab, range: KeyRange::on_leading(i64::MIN, ta, 2) },
+                residual: Predicate::single(ColRange::at_most(1, tb)),
+                project: Projection::Columns(vec![1]),
+            },
+        ];
+        let ec = ExecConfig::with_batch_rows(batch_rows);
+        for plan in &plans {
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (row_stats, row_rows) = execute_collect(plan, &ctx).unwrap();
+            let s2 = Session::with_pool_pages(64);
+            let ctx2 = ExecCtx::new(&db, &s2, 1 << 20);
+            let (batch_stats, batch_rows_v) = execute_collect_batched(plan, &ctx2, &ec).unwrap();
+            prop_assert_eq!(
+                row_stats.seconds.to_bits(),
+                batch_stats.seconds.to_bits(),
+                "{}: seconds", plan.synopsis()
+            );
+            prop_assert_eq!(&row_stats.io, &batch_stats.io, "{}: io", plan.synopsis());
+            prop_assert_eq!(row_stats.rows_out, batch_stats.rows_out, "{}", plan.synopsis());
+            prop_assert_eq!(&row_rows, &batch_rows_v, "{}: rows/order", plan.synopsis());
         }
     }
 

@@ -22,6 +22,14 @@ export RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}"
 run cargo build --release --workspace --all-targets
 run cargo test -q --release --workspace
 run cargo test -q --release --workspace --doc
+
+# The batch-executor differential suite runs inside the workspace tests
+# above at the default batch size; run it again at a deliberately odd
+# size so partial final batches and mid-page batch boundaries are
+# exercised too (the knob must never change a single charge).
+echo "== batch equivalence at ROBUSTMAP_BATCH_ROWS=513"
+ROBUSTMAP_BATCH_ROWS=513 run cargo test -q --release \
+    --test batch_equivalence --test warm_sweep_equivalence
 run cargo clippy --release --workspace --all-targets -- -D warnings
 run cargo doc --no-deps --workspace
 
@@ -46,6 +54,14 @@ ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-ben
     --rows 16384 --grid 8 --out target/figures-verify fig1
 cmp target/figures-verify/fig1.csv target/figures-verify/fig1.cold.csv || {
     echo "warm-cache artifacts differ from cold-cache artifacts" >&2
+    exit 1
+}
+# Byte-identity against the committed baseline: simulated costs must not
+# drift, no matter how the executor is rearranged (the batch refactor's
+# contract).  Regenerate crates/bench/baselines/fig1_smoke.csv only for
+# a deliberate cost-model change.
+cmp target/figures-verify/fig1.csv crates/bench/baselines/fig1_smoke.csv || {
+    echo "fig1 smoke CSV drifted from the committed baseline — simulated costs changed" >&2
     exit 1
 }
 
