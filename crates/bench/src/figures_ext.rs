@@ -17,6 +17,8 @@
 //!   independence assumption (rho × selectivity robustness maps).
 //! * `ext_robust_choice` — the fix: joint statistics + the penalty-aware
 //!   robust chooser vs the point-estimate optimizer vs the oracle.
+//! * `ext_adaptive` — the run-time fix: mid-flight plan switching from
+//!   observed cardinalities, with no joint statistics at compile time.
 //! * `ext_regression` — the §4 regression benchmark, runnable as a gate.
 
 use robustmap_core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
@@ -1700,6 +1702,377 @@ pub fn ext_robust_choice(h: &Harness) -> FigureOutput {
         ),
     ];
     FigureOutput::new("ext_robust_choice", report, files)
+}
+
+/// Adaptive mid-flight plan switching — the *run-time* answer to the
+/// estimation failure that `ext_correlated` mapped and `ext_robust_choice`
+/// fixed with compile-time joint statistics.  Here the chooser keeps its
+/// textbook independence estimates over the full 15-plan catalog; instead
+/// of better statistics, the executor's adaptive layer
+/// ([`robustmap_executor::ops::adaptive`]) counts rows at the chosen
+/// plan's materialization points and a
+/// [`robustmap_systems::BailController`] re-costs the remaining pipeline
+/// when the observed cardinality falls outside the estimate's credible
+/// band, bailing to the choice-free covering-MDAM plan when abandoning
+/// pays.  The rid feeds of System B's key-filtered composite-index plans
+/// and of the intersections materialize the true *conjunction*
+/// cardinality — exactly the number the independence assumption gets
+/// wrong by `1/s` at rho = 1 — so the wrong-choice region collapses
+/// without any joint statistics.  Switch costs are exactly accounted: the
+/// abandoned prefix's charges are sunk on the same simulated clock the
+/// fallback then runs on, and no-switch runs are bit-identical to the
+/// static executor (pinned by `tests/adaptive_equivalence.rs`).
+pub fn ext_adaptive(h: &Harness) -> FigureOutput {
+    use robustmap_core::render::sanitize;
+    use robustmap_core::{build_map2d, Grid2D, RegressionSuite};
+    use robustmap_executor::{
+        execute_adaptive_count_batched, AdaptiveStats, ExecConfig, ExecCtx, NeverSwitch,
+        SwitchController,
+    };
+    use robustmap_storage::{BufferPool, Database, Session};
+    use robustmap_systems::choice::{Exact, Joint};
+    use robustmap_systems::{
+        two_pred_bail_controller_banded, two_predicate_plans, CatalogStats, ChoicePolicy,
+        Chooser,
+        Estimator, RobustConfig, TwoPredPlan,
+    };
+    use robustmap_workload::gen::PredicateDistribution;
+    use robustmap_workload::{
+        JointHistogram, JointHistogramConfig, TableBuilder, Workload, WorkloadConfig,
+    };
+
+    let rows = h.w.rows().min(1 << 17); // the ext_correlated workload family, reused
+    // Credible-band factor for the trip predicate.  The map's outermost
+    // selectivity is 1/2, where the independence conjunction is wrong by
+    // exactly 1/max(sel_a, sel_b) = 2 — the default factor-2 band would
+    // declare that genuine failure "credible", so the experiment arms a
+    // tighter band; the rho = 0 bit-identity check below guards the other
+    // side (no trips where the estimates are right).
+    const BAND_FACTOR: f64 = 1.5;
+    let seed = h.w.config.seed;
+    let rcfg = RobustConfig::default();
+    let jcfg = JointHistogramConfig::default();
+    let mcfg = &h.config.measure;
+    let model = &mcfg.model;
+    let ec = ExecConfig::from_env();
+    let mut suite = RegressionSuite::new();
+
+    let full_catalog = |w: &Workload| -> Vec<TwoPredPlan> {
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, w)).collect()
+    };
+    // The bail destination is always a choice-free System C plan: the
+    // covering MDAM for a tripped fetch/intersect plan, or — when the
+    // tripped plan IS the MDAM — the plain covering scan over the smaller
+    // *exact* marginal (no conjunction estimate enters the pick).
+    let find = |plans: &[TwoPredPlan], frag: &str| -> usize {
+        plans.iter().position(|p| p.name.contains(frag)).expect("plan in catalog")
+    };
+    let fallback_idx = |plans: &[TwoPredPlan],
+                        spec: &PlanSpec,
+                        est: &robustmap_systems::SelEstimates|
+     -> usize {
+        if matches!(spec, PlanSpec::Mdam { .. }) {
+            if est.sel_a <= est.sel_b {
+                find(plans, "covering(a,b) scan")
+            } else {
+                find(plans, "covering(b,a) scan")
+            }
+        } else {
+            find(plans, "mdam")
+        }
+    };
+    // One adaptive execution under exactly the measurement conditions the
+    // static maps use: fresh session (bit-identical to `SweepArena`'s
+    // reset one), same pool, same model, same batched executor.
+    let run_adaptive =
+        |db: &Database, spec: &PlanSpec, ctrl: &dyn SwitchController| -> AdaptiveStats {
+            let s = Session::new(mcfg.model.clone(), BufferPool::new(mcfg.pool_pages, mcfg.policy));
+            let ctx = ExecCtx::new(db, &s, mcfg.memory_bytes);
+            execute_adaptive_count_batched(spec, &ctx, &ec, ctrl).expect("well-formed plan")
+        };
+
+    let mut report = String::from(
+        "Extension N: adaptive mid-flight plan switching — observed cardinalities vs joint \
+         statistics\n",
+    );
+    report.push_str(&format!(
+        "{rows} rows; the compile-time chooser is the independence point chooser over the full \
+         15-plan catalog (the baseline ext_optimizer's rho = 1 panel shows going wrong).  \
+         adaptive = that chosen plan + cardinality checkpoints, bailing to a choice-free \
+         System C plan (covering MDAM; for a tripped MDAM, the plain covering scan on the \
+         smaller exact marginal) when the observed count leaves the credible band (factor \
+         {:.0} + {:.0} rows) and the re-costed comparison says the switch pays; sunk prefix charges are \
+         included in every adaptive number.  The compile-time baselines (joint point / joint \
+         robust) choose over the same catalog with joint statistics instead\n",
+        BAND_FACTOR,
+        robustmap_systems::CARDINALITY_NOISE_ROWS,
+    ));
+
+    let mut csv = String::from(
+        "part,rho,sel_a,sel_b,point_choice,final_plan,joint_choice,best_plan,switched,\
+         point_regret,adaptive_final_regret,adaptive_total_regret\n",
+    );
+
+    // --- Part 1: the diagonal rho sweep.  At rho = 0 the estimates are
+    // right, nothing may trip, and the adaptive executor must be
+    // charge-identical to the static one; as rho grows the conjunction
+    // underestimate grows as 1/s and the trips begin.
+    let rho_pct: [u32; 5] = [0, 25, 50, 75, 100];
+    let max_exp = h.config.grid_exp.min(10) as i32;
+    let sels: Vec<f64> = (0..=max_exp).rev().map(|e| 0.5f64.powi(e)).collect();
+    let ns = sels.len();
+    report.push_str(&format!(
+        "\ndiagonal sweep (15-plan catalog):\n{:>6} {:>12} {:>14} {:>12} {:>14} {:>9}\n",
+        "rho", "point wrong", "adaptive wrong", "point worst", "adaptive worst", "switches"
+    ));
+    let mut total_point_wrong = 0usize;
+    let mut total_adaptive_wrong = 0usize;
+    let mut rho0_identity = true;
+    let mut accounting_ok = true;
+    for &pct in &rho_pct {
+        let w = TableBuilder::build_cached(WorkloadConfig {
+            rows,
+            seed,
+            predicate_dist: PredicateDistribution::CorrelatedHundredths(pct),
+        });
+        let plans = full_catalog(&w);
+        let stats = CatalogStats::of(&w);
+        let exact = Exact::of(&w);
+        let chooser = Chooser { plans: &plans, stats: &stats, model, policy: ChoicePolicy::Point };
+        let thr: Vec<(i64, i64)> =
+            sels.iter().map(|&s| (w.cal_a.threshold(s), w.cal_b.threshold(s))).collect();
+        let specs: Vec<PlanSpec> = plans
+            .iter()
+            .flat_map(|p| thr.iter().map(|&(ta, tb)| p.build(ta, tb)))
+            .collect();
+        let results = measure_batch(&w.db, &specs, mcfg);
+        let mut tally = ChooserTally::default();
+        let mut switches = 0usize;
+        let mut worst_total = 0.0f64;
+        for (si, &s) in sels.iter().enumerate() {
+            let (ta, tb) = thr[si];
+            let secs: Vec<f64> =
+                (0..plans.len()).map(|pi| results[pi * ns + si].seconds).collect();
+            let point = chooser.choose(&exact, ta, tb);
+            let est = exact.estimate(ta, tb);
+            let spec = plans[point.plan].build(ta, tb);
+            let fb_idx = fallback_idx(&plans, &spec, &est);
+            let fallback = plans[fb_idx].build(ta, tb);
+            let astats = match two_pred_bail_controller_banded(
+                &spec, &point, fallback, &stats, est, model, rcfg, BAND_FACTOR,
+            ) {
+                Some(ctrl) => run_adaptive(&w.db, &spec, &ctrl),
+                None => run_adaptive(&w.db, &spec, &NeverSwitch),
+            };
+            let switched = !astats.switches.is_empty();
+            let final_plan = if switched { fb_idx } else { point.plan };
+            switches += switched as usize;
+            let (pq, aq) = tally.add(&secs, point.plan, final_plan);
+            let best = secs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-12);
+            let total_q = astats.exec.seconds / best;
+            worst_total = worst_total.max(total_q);
+            accounting_ok &= astats.exec.seconds >= secs[final_plan] - 1e-12;
+            if pct == 0 {
+                rho0_identity &= !switched
+                    && astats.exec.seconds.to_bits() == secs[point.plan].to_bits();
+            }
+            csv.push_str(&format!(
+                "diagonal,{},{s:e},{s:e},{},{},,{},{},{pq:e},{aq:e},{total_q:e}\n",
+                pct as f64 / 100.0,
+                sanitize(&plans[point.plan].name),
+                sanitize(&plans[final_plan].name),
+                sanitize(&plans[oracle_of(&secs)].name),
+                switched as u8,
+            ));
+        }
+        let (pw, aw) = tally.wrong_fracs();
+        report.push_str(&format!(
+            "{:>6.2} {:>11.1}% {:>13.1}% {:>11.2}x {:>13.2}x {:>9}\n",
+            pct as f64 / 100.0,
+            pw * 100.0,
+            aw * 100.0,
+            tally.point_worst,
+            worst_total,
+            switches,
+        ));
+        total_point_wrong += tally.point_wrong;
+        total_adaptive_wrong += tally.robust_wrong;
+    }
+    suite.check_named(
+        "diagonal sweep: adaptive final-plan wrong cells <= the independence point chooser's",
+        total_adaptive_wrong <= total_point_wrong,
+        format!("{total_adaptive_wrong} vs {total_point_wrong} of {}", rho_pct.len() * ns),
+    );
+    suite.check_named(
+        "rho = 0 diagonal: zero switches and bit-identical charges to the static chosen plan",
+        rho0_identity,
+        String::new(),
+    );
+
+    // --- Part 2: the full (sel_a x sel_b) map at rho = 1 — the collapse
+    // claim.  The joint point chooser (compile-time statistics, PR 5's
+    // estimator) is the baseline the run-time fix must match without
+    // those statistics.
+    let w1 = TableBuilder::build_cached(WorkloadConfig {
+        rows,
+        seed,
+        predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+    });
+    let plans1 = full_catalog(&w1);
+    let stats1 = CatalogStats::of(&w1);
+    let joint1 = JointHistogram::build_cached(&w1, &jcfg);
+    let exact1 = Exact::of(&w1);
+    let joint_est1 = Joint::new(&joint1);
+    let point_chooser =
+        Chooser { plans: &plans1, stats: &stats1, model, policy: ChoicePolicy::Point };
+    let robust_chooser =
+        Chooser { plans: &plans1, stats: &stats1, model, policy: ChoicePolicy::Robust(rcfg) };
+    let grid = Grid2D::pow2(h.config.grid_exp.min(6));
+    let m2 = build_map2d(&w1, &plans1, &grid, mcfg);
+    let (na, nb) = m2.dims();
+    let mut est_tally = ChooserTally::default(); // indep point vs joint point (PR baseline)
+    let mut adapt_tally = ChooserTally::default(); // indep point vs adaptive final plan
+    let mut robust_tally = ChooserTally::default(); // indep point vs robust-over-joint
+    let mut point_regret = vec![1.0f64; na * nb];
+    let mut adaptive_regret = vec![1.0f64; na * nb];
+    let mut worst_total = 0.0f64;
+    let mut sum_total = 0.0f64;
+    let mut switched_cells = 0usize;
+    let mut contested_cells = 0usize;
+    let mut unswitched_identity = true;
+    for ia in 0..na {
+        for ib in 0..nb {
+            let (sa, sb) = (m2.sel_a[ia], m2.sel_b[ib]);
+            let (ta, tb) = (w1.cal_a.threshold(sa), w1.cal_b.threshold(sb));
+            let secs: Vec<f64> =
+                (0..plans1.len()).map(|pi| m2.get(pi, ia, ib).seconds).collect();
+            let point = point_chooser.choose(&exact1, ta, tb);
+            let joint_choice = point_chooser.choose(&joint_est1, ta, tb);
+            let robust = robust_chooser.choose(&joint_est1, ta, tb);
+            contested_cells += point.is_contested(0.25) as usize;
+            let est = exact1.estimate(ta, tb);
+            let spec = plans1[point.plan].build(ta, tb);
+            let fb_idx = fallback_idx(&plans1, &spec, &est);
+            let fallback = plans1[fb_idx].build(ta, tb);
+            let astats = match two_pred_bail_controller_banded(
+                &spec, &point, fallback, &stats1, est, model, rcfg, BAND_FACTOR,
+            ) {
+                Some(ctrl) => run_adaptive(&w1.db, &spec, &ctrl),
+                None => run_adaptive(&w1.db, &spec, &NeverSwitch),
+            };
+            let switched = !astats.switches.is_empty();
+            let final_plan = if switched { fb_idx } else { point.plan };
+            switched_cells += switched as usize;
+            est_tally.add(&secs, point.plan, joint_choice.plan);
+            robust_tally.add(&secs, point.plan, robust.plan);
+            let (pq, aq) = adapt_tally.add(&secs, point.plan, final_plan);
+            let best = secs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-12);
+            let total_q = astats.exec.seconds / best;
+            worst_total = worst_total.max(total_q);
+            sum_total += total_q;
+            accounting_ok &= astats.exec.seconds >= secs[final_plan] - 1e-12;
+            if !switched {
+                unswitched_identity &=
+                    astats.exec.seconds.to_bits() == secs[point.plan].to_bits();
+            }
+            let c = ia * nb + ib;
+            point_regret[c] = pq;
+            adaptive_regret[c] = total_q;
+            csv.push_str(&format!(
+                "map,1,{sa:e},{sb:e},{},{},{},{},{},{pq:e},{aq:e},{total_q:e}\n",
+                sanitize(&plans1[point.plan].name),
+                sanitize(&plans1[final_plan].name),
+                sanitize(&plans1[joint_choice.plan].name),
+                sanitize(&plans1[oracle_of(&secs)].name),
+                switched as u8,
+            ));
+        }
+    }
+    let cells = adapt_tally.cells as f64;
+    let (pw, aw) = adapt_tally.wrong_fracs();
+    let (_, jw) = est_tally.wrong_fracs();
+    let (_, rw) = robust_tally.wrong_fracs();
+    report.push_str(&format!(
+        "\n(sel_a x sel_b) map at rho = 1, {na}x{nb} grid, 15-plan catalog (switched at {:.1}% \
+         of cells, independence choice contested at {:.1}%):\n\
+         independence point chooser: wrong at {:.1}% of cells, worst regret {:.2}x\n\
+         joint point chooser:        wrong at {:.1}% of cells, worst regret {:.2}x\n\
+         joint robust chooser:       wrong at {:.1}% of cells, worst regret {:.2}x\n\
+         adaptive (independence):    wrong at {:.1}% of cells, worst total regret {:.2}x \
+         (sunk switch cost included, mean {:.2}x)\n",
+        switched_cells as f64 / cells * 100.0,
+        contested_cells as f64 / cells * 100.0,
+        pw * 100.0,
+        adapt_tally.point_worst,
+        jw * 100.0,
+        est_tally.robust_worst,
+        rw * 100.0,
+        robust_tally.robust_worst,
+        aw * 100.0,
+        worst_total,
+        sum_total / cells,
+    ));
+    suite.check_named(
+        "rho = 1 map: adaptive wrong-choice fraction <= the joint estimator's (no joint \
+         statistics at run time)",
+        adapt_tally.robust_wrong <= est_tally.robust_wrong,
+        format!("{:.1}% vs {:.1}%", aw * 100.0, jw * 100.0),
+    );
+    suite.check_named(
+        "rho = 1 map: adaptive wrong-choice fraction <= the independence point chooser's",
+        adapt_tally.robust_wrong <= adapt_tally.point_wrong,
+        format!("{:.1}% vs {:.1}%", aw * 100.0, pw * 100.0),
+    );
+    suite.check_named(
+        "rho = 1 map: adaptive worst total regret (sunk cost included) <= the point chooser's \
+         worst regret",
+        worst_total <= adapt_tally.point_worst + 1e-9,
+        format!("{:.2}x vs {:.2}x", worst_total, adapt_tally.point_worst),
+    );
+    suite.check_named(
+        "rho = 1 map: unswitched cells bit-identical to the static map measurement",
+        unswitched_identity,
+        String::new(),
+    );
+    suite.check_named(
+        "accounting: adaptive seconds never below the final plan's static seconds",
+        accounting_ok,
+        String::new(),
+    );
+
+    report.push_str("\nregression checks over the adaptive executor:\n");
+    let checks = format!(
+        "{}verdict: {}\n",
+        suite.report(),
+        if suite.passed() { "PASS" } else { "FAIL" }
+    );
+    report.push_str(&checks);
+
+    let files = vec![
+        h.write_artifact("ext_adaptive.csv", &csv),
+        h.write_artifact("ext_adaptive_checks.txt", &checks),
+        h.write_artifact(
+            "ext_adaptive_point_regret.svg",
+            &heatmap_svg(
+                &point_regret,
+                &m2.sel_a,
+                &m2.sel_b,
+                &relative_scale(),
+                "Independence point chooser regret at rho = 1 (15 plans)",
+            ),
+        ),
+        h.write_artifact(
+            "ext_adaptive_regret.svg",
+            &heatmap_svg(
+                &adaptive_regret,
+                &m2.sel_a,
+                &m2.sel_b,
+                &relative_scale(),
+                "Adaptive executor total regret at rho = 1 (sunk switch cost included)",
+            ),
+        ),
+    ];
+    FigureOutput::new("ext_adaptive", report, files)
 }
 
 /// Buffer pool size as the swept run-time condition (a §3 "resource"

@@ -45,6 +45,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_optimizer",
     "ext_correlated",
     "ext_robust_choice",
+    "ext_adaptive",
     "ext_regression",
 ];
 
@@ -81,6 +82,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_optimizer" => figures_ext::ext_optimizer(h),
         "ext_correlated" => figures_ext::ext_correlated(h),
         "ext_robust_choice" => figures_ext::ext_robust_choice(h),
+        "ext_adaptive" => figures_ext::ext_adaptive(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

@@ -119,8 +119,14 @@ impl<'a> ExecCtx<'a> {
         self.spilled.get()
     }
 
-    fn record_op(&self, label: String, depth: usize, rows_out: u64, seconds: f64) {
+    pub(crate) fn record_op(&self, label: String, depth: usize, rows_out: u64, seconds: f64) {
         self.op_stats.borrow_mut().push(OpStats { label, depth, rows_out, seconds });
+    }
+
+    /// Drain the per-operator records accumulated so far (the execution
+    /// drivers call this once, when assembling [`ExecStats`]).
+    pub(crate) fn take_op_stats(&self) -> Vec<OpStats> {
+        std::mem::take(&mut *self.op_stats.borrow_mut())
     }
 }
 
@@ -209,7 +215,7 @@ pub fn execute_collect_batched(
     Ok((stats, rows))
 }
 
-fn run_fetch(
+pub(crate) fn run_fetch(
     heap: &robustmap_storage::HeapFile,
     rids: Vec<robustmap_storage::heap::Rid>,
     fetch: &FetchKind,
@@ -231,7 +237,7 @@ fn run_fetch(
     }
 }
 
-fn execute_node(
+pub(crate) fn execute_node(
     plan: &PlanSpec,
     ctx: &ExecCtx<'_>,
     depth: usize,
@@ -364,7 +370,7 @@ fn execute_node(
     Ok(rows)
 }
 
-fn run_fetch_batched(
+pub(crate) fn run_fetch_batched(
     heap: &robustmap_storage::HeapFile,
     rids: Vec<robustmap_storage::heap::Rid>,
     fetch: &FetchKind,
@@ -396,7 +402,7 @@ fn run_fetch_batched(
 
 /// Output arity of a plan (what its sink receives per row) — the batch
 /// driver sizes [`RowBatch`] columns with it.
-fn plan_out_arity(plan: &PlanSpec, db: &Database) -> Result<usize, ExecError> {
+pub(crate) fn plan_out_arity(plan: &PlanSpec, db: &Database) -> Result<usize, ExecError> {
     Ok(match plan {
         PlanSpec::TableScan { table, project, .. }
         | PlanSpec::ParallelTableScan { table, project, .. } => {
@@ -437,7 +443,7 @@ fn plan_out_arity(plan: &PlanSpec, db: &Database) -> Result<usize, ExecError> {
 /// hash aggregation interleave their own per-push charges with the child's
 /// production charges, so their subtrees run through [`execute_node`]
 /// unchanged and only their (charge-free) output emission is batched.
-fn execute_node_batched(
+pub(crate) fn execute_node_batched(
     plan: &PlanSpec,
     ctx: &ExecCtx<'_>,
     cfg: &ExecConfig,

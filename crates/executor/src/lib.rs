@@ -32,6 +32,13 @@
 //! twin, [`exec::execute_batched`], runs the same plans over columnar
 //! [`batch::RowBatch`] chunks with bit-identical simulated charges (see
 //! [`batch`] for the equivalence rules).
+//!
+//! An adaptive layer, [`ops::adaptive`], threads cardinality checkpoints
+//! through both executors: at every materialization point the exact
+//! observed row count is reported to a [`ops::adaptive::SwitchController`],
+//! which may swap the remaining operator choice or bail to a replacement
+//! plan mid-flight.  With switching disabled the adaptive executors are
+//! bit-identical to the static ones (`tests/adaptive_equivalence.rs`).
 
 pub mod batch;
 pub mod exec;
@@ -45,9 +52,14 @@ pub use exec::{
     execute_count_batched, ExecCtx, ExecError, ExecStats, OpStats,
 };
 pub use expr::{ColRange, Predicate};
+pub use ops::adaptive::{
+    execute_adaptive, execute_adaptive_batched, execute_adaptive_collect,
+    execute_adaptive_collect_batched, execute_adaptive_count, execute_adaptive_count_batched,
+    AdaptiveStats, NeverSwitch, Observation, SwitchController, SwitchDirective, SwitchEvent,
+};
 pub use plan::{
-    AggFn, FetchKind, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, JoinAlgo, KeyRange,
-    PlanSpec, Projection, SpillMode,
+    AggFn, CheckpointKind, FetchKind, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, JoinAlgo,
+    KeyRange, PlanSpec, Projection, SpillMode,
 };
 
 /// Crate-wide result alias.

@@ -34,8 +34,22 @@ pub fn run(
         let out = project.apply(&row);
         sink(&out);
         produced += 1;
+        true
     })?;
     Ok(produced)
+}
+
+/// [`run`] with an abort hook for the adaptive executor: `emit` receives
+/// each qualifying key (unprojected, in key-column space) and answers
+/// whether to keep scanning.  Emission is charge-free, so up to the abort
+/// point the charges are bit-identical to [`run`]'s.
+pub fn run_abortable(
+    index: &IndexDef,
+    col_ranges: &[(i64, i64)],
+    session: &Session,
+    emit: &mut dyn FnMut(&Key) -> bool,
+) -> Result<(), ExecError> {
+    run_inner(index, col_ranges, session, emit)
 }
 
 /// Batched twin of [`run`]: the identical skip/seek driver, with qualifying
@@ -54,18 +68,20 @@ pub fn run_batched(
     let mut emitter = BatchEmitter::new(proj.len(), cfg.batch_rows);
     run_inner(index, col_ranges, session, &mut |key| {
         emitter.push_projected_slice(key.values(), &proj, sink);
+        true
     })?;
     emitter.flush(sink);
     Ok(emitter.produced())
 }
 
 /// The MDAM driver shared by the row and batch paths.  All charges happen
-/// here; `emit` receives each qualifying key and must not charge.
+/// here; `emit` receives each qualifying key, must not charge, and
+/// answers whether to keep scanning (`false` aborts mid-flight).
 fn run_inner(
     index: &IndexDef,
     col_ranges: &[(i64, i64)],
     session: &Session,
-    emit: &mut dyn FnMut(&Key),
+    emit: &mut dyn FnMut(&Key) -> bool,
 ) -> Result<(), ExecError> {
     let arity = index.tree.key_arity();
     if col_ranges.len() != arity {
@@ -108,7 +124,11 @@ fn run_inner(
         session.charge_compares(arity as u64);
 
         match violation {
-            None => emit(&key),
+            None => {
+                if !emit(&key) {
+                    return Ok(()); // aborted by the adaptive layer
+                }
+            }
             Some((0, false)) => break, // leading column beyond its range: done
             Some((j, below_lo)) => {
                 let target = if below_lo {

@@ -6,6 +6,7 @@
 //! caller-provided sinks (`FnMut(&Row)`), so no operator materialises
 //! output it does not need for its own algorithm.
 
+pub mod adaptive;
 pub mod agg;
 pub mod fetch;
 pub mod index_scan;

@@ -5,9 +5,10 @@
 
 use proptest::prelude::*;
 use robustmap_executor::{
-    execute_collect, execute_collect_batched, AggFn, ColRange, ExecConfig, ExecCtx, FetchKind,
-    ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, KeyRange, PlanSpec, Predicate, Projection,
-    Selection, SpillMode,
+    execute_adaptive_collect, execute_adaptive_collect_batched, execute_collect,
+    execute_collect_batched, AggFn, CheckpointKind, ColRange, ExecConfig, ExecCtx, FetchKind,
+    ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, KeyRange, Observation, PlanSpec, Predicate,
+    Projection, Selection, SpillMode, SwitchController, SwitchDirective,
 };
 use robustmap_storage::{ColumnType, Database, Row, Schema, Session, TableId};
 
@@ -34,6 +35,38 @@ fn sorted_rows(rows: Vec<Row>) -> Vec<Vec<i64>> {
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
     prop::collection::vec((-50i64..50, -50i64..50, -50i64..50), 1..400)
+}
+
+/// Controller that unconditionally bails to `fallback` at one checkpoint.
+struct BailAlways {
+    at: CheckpointKind,
+    fallback: PlanSpec,
+}
+
+impl SwitchController for BailAlways {
+    fn decide(&self, obs: &Observation) -> SwitchDirective {
+        if obs.kind == self.at {
+            SwitchDirective::Bail(self.fallback.clone())
+        } else {
+            SwitchDirective::Continue
+        }
+    }
+}
+
+/// Controller that swaps the fetch discipline at one checkpoint.
+struct SwitchFetchAt {
+    at: CheckpointKind,
+    fetch: FetchKind,
+}
+
+impl SwitchController for SwitchFetchAt {
+    fn decide(&self, obs: &Observation) -> SwitchDirective {
+        if obs.kind == self.at {
+            SwitchDirective::SwitchFetch(self.fetch)
+        } else {
+            SwitchDirective::Continue
+        }
+    }
 }
 
 proptest! {
@@ -329,6 +362,169 @@ proptest! {
             prop_assert_eq!(row_stats.rows_out, batch_stats.rows_out, "{}", plan.synopsis());
             prop_assert_eq!(&row_rows, &batch_rows_v, "{}: rows/order", plan.synopsis());
         }
+    }
+
+    /// A *triggered* bail never changes the answer: whatever rows the
+    /// adaptive executor produces after abandoning the chosen plan
+    /// mid-flight, they are exactly the rows either pure plan produces —
+    /// the switch affects cost accounting only, never correctness.  Both
+    /// the scalar and batched adaptive paths, at any batch size.
+    #[test]
+    fn triggered_bail_matches_both_pure_plans(
+        rows in rows_strategy(),
+        ta in -60i64..60,
+        tb in -60i64..60,
+        batch_rows in 1usize..1300,
+    ) {
+        let (mut db, t) = db_from(&rows);
+        let idx_a = db.create_index("ia", t, &[0]).unwrap();
+        let idx_b = db.create_index("ib", t, &[1]).unwrap();
+        let chosen = PlanSpec::IndexFetch {
+            scan: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+            key_filter: Predicate::always_true(),
+            fetch: FetchKind::Improved(ImprovedFetchConfig::default()),
+            residual: Predicate::single(ColRange::at_most(1, tb)),
+            project: Projection::All,
+        };
+        let fallback = PlanSpec::TableScan {
+            table: t,
+            pred: Predicate::all_of(vec![ColRange::at_most(0, ta), ColRange::at_most(1, tb)]),
+            project: Projection::All,
+        };
+        let intersect = PlanSpec::IndexIntersect {
+            left: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+            right: IndexRangeSpec { index: idx_b, range: KeyRange::on_leading(i64::MIN, tb, 1) },
+            algo: IntersectAlgo::MergeJoin,
+            fetch: FetchKind::BitmapSorted,
+            residual: Predicate::always_true(),
+            project: Projection::All,
+        };
+        let cases = [
+            (&chosen, CheckpointKind::RidFeed),
+            (&intersect, CheckpointKind::IntersectOut),
+        ];
+        let ec = ExecConfig::with_batch_rows(batch_rows);
+        for (plan, at) in cases {
+            let pure_chosen = {
+                let s = Session::with_pool_pages(64);
+                let ctx = ExecCtx::new(&db, &s, 1 << 20);
+                sorted_rows(execute_collect(plan, &ctx).unwrap().1)
+            };
+            let pure_fallback = {
+                let s = Session::with_pool_pages(64);
+                let ctx = ExecCtx::new(&db, &s, 1 << 20);
+                sorted_rows(execute_collect(&fallback, &ctx).unwrap().1)
+            };
+            let ctrl = BailAlways { at, fallback: fallback.clone() };
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (stats, got) = execute_adaptive_collect(plan, &ctx, &ctrl).unwrap();
+            prop_assert_eq!(stats.switches.len(), 1, "{}: bail must be recorded", plan.synopsis());
+            let got = sorted_rows(got);
+            prop_assert_eq!(&got, &pure_chosen, "{}: vs chosen plan", plan.synopsis());
+            prop_assert_eq!(&got, &pure_fallback, "{}: vs fallback plan", plan.synopsis());
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            let (bstats, bgot) = execute_adaptive_collect_batched(plan, &ctx, &ec, &ctrl).unwrap();
+            prop_assert_eq!(bstats.switches.len(), 1, "{}: batched bail", plan.synopsis());
+            prop_assert_eq!(sorted_rows(bgot), pure_chosen, "{}: batched rows", plan.synopsis());
+        }
+    }
+
+    /// A triggered MDAM bail at a ScanOut milestone: the held-back prefix
+    /// is discarded, so the output equals both pure plans exactly (no
+    /// duplicated rows).  An empty box never reaches the first milestone,
+    /// so no switch can fire there.
+    #[test]
+    fn triggered_mdam_bail_matches_both_pure_plans(
+        rows in rows_strategy(),
+        ta in -60i64..60,
+        tb in -60i64..60,
+        batch_rows in 1usize..1300,
+    ) {
+        let (mut db, t) = db_from(&rows);
+        let idx_ab = db.create_index("iab", t, &[0, 1]).unwrap();
+        let chosen = PlanSpec::Mdam {
+            index: idx_ab,
+            col_ranges: vec![(i64::MIN, ta), (i64::MIN, tb)],
+            project: Projection::All, // key-column space: (a, b)
+        };
+        let fallback = PlanSpec::TableScan {
+            table: t,
+            pred: Predicate::all_of(vec![ColRange::at_most(0, ta), ColRange::at_most(1, tb)]),
+            project: Projection::Columns(vec![0, 1]),
+        };
+        let pure_chosen = {
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            sorted_rows(execute_collect(&chosen, &ctx).unwrap().1)
+        };
+        let pure_fallback = {
+            let s = Session::with_pool_pages(64);
+            let ctx = ExecCtx::new(&db, &s, 1 << 20);
+            sorted_rows(execute_collect(&fallback, &ctx).unwrap().1)
+        };
+        let want_switches = usize::from(!pure_chosen.is_empty());
+        let ctrl = BailAlways { at: CheckpointKind::ScanOut, fallback: fallback.clone() };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (stats, got) = execute_adaptive_collect(&chosen, &ctx, &ctrl).unwrap();
+        prop_assert_eq!(stats.switches.len(), want_switches);
+        let got = sorted_rows(got);
+        prop_assert_eq!(&got, &pure_chosen, "vs pure MDAM");
+        prop_assert_eq!(&got, &pure_fallback, "vs pure fallback");
+        let ec = ExecConfig::with_batch_rows(batch_rows);
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (bstats, bgot) = execute_adaptive_collect_batched(&chosen, &ctx, &ec, &ctrl).unwrap();
+        prop_assert_eq!(bstats.switches.len(), want_switches, "batched bail");
+        prop_assert_eq!(sorted_rows(bgot), pure_chosen, "batched rows");
+    }
+
+    /// A triggered operator-swap (fetch discipline) likewise: the rows
+    /// after switching the fetch kind mid-flight equal the pure plan's
+    /// under either discipline.
+    #[test]
+    fn triggered_fetch_switch_matches_both_pure_plans(
+        rows in rows_strategy(),
+        ta in -60i64..60,
+        tb in -60i64..60,
+        batch_rows in 1usize..1300,
+    ) {
+        let (mut db, t) = db_from(&rows);
+        let idx_a = db.create_index("ia", t, &[0]).unwrap();
+        let mk = |fetch| PlanSpec::IndexFetch {
+            scan: IndexRangeSpec { index: idx_a, range: KeyRange::on_leading(i64::MIN, ta, 1) },
+            key_filter: Predicate::always_true(),
+            fetch,
+            residual: Predicate::single(ColRange::at_most(1, tb)),
+            project: Projection::Columns(vec![2, 0]),
+        };
+        let traditional = mk(FetchKind::Traditional);
+        let bitmap = mk(FetchKind::BitmapSorted);
+        let pure: Vec<Vec<Vec<i64>>> = [&traditional, &bitmap]
+            .iter()
+            .map(|p| {
+                let s = Session::with_pool_pages(64);
+                let ctx = ExecCtx::new(&db, &s, 1 << 20);
+                sorted_rows(execute_collect(p, &ctx).unwrap().1)
+            })
+            .collect();
+        let ctrl = SwitchFetchAt { at: CheckpointKind::RidFeed, fetch: FetchKind::BitmapSorted };
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (stats, got) = execute_adaptive_collect(&traditional, &ctx, &ctrl).unwrap();
+        prop_assert_eq!(stats.switches.len(), 1);
+        let got = sorted_rows(got);
+        prop_assert_eq!(&got, &pure[0], "vs pure traditional");
+        prop_assert_eq!(&got, &pure[1], "vs pure bitmap-sorted");
+        let ec = ExecConfig::with_batch_rows(batch_rows);
+        let s = Session::with_pool_pages(64);
+        let ctx = ExecCtx::new(&db, &s, 1 << 20);
+        let (bstats, bgot) =
+            execute_adaptive_collect_batched(&traditional, &ctx, &ec, &ctrl).unwrap();
+        prop_assert_eq!(bstats.switches.len(), 1);
+        prop_assert_eq!(sorted_rows(bgot), pure[1].clone(), "batched vs pure");
     }
 
     /// Projections commute: projecting in the plan equals projecting the

@@ -220,6 +220,24 @@ pub struct Choice {
     pub margin: f64,
 }
 
+impl Choice {
+    /// Whether the decision was close: a runner-up exists and its score is
+    /// within `threshold` (relative to the winning score) of the winner.
+    ///
+    /// This is the explicit predicate callers previously approximated with
+    /// `margin > 0.0` checks — an approximation that misreads two edges:
+    /// a **single-plan catalog** reports `margin == 0.0` only because
+    /// there is nothing to lose to (not contested, whatever the
+    /// threshold), while an **exact tie** between two plans also reports
+    /// `margin == 0.0` and is maximally contested.
+    pub fn is_contested(&self, threshold: f64) -> bool {
+        match self.runner_up {
+            None => false,
+            Some(_) => self.margin <= threshold * self.score.abs().max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
 /// A plan catalog bound to catalog statistics, a cost model and a
 /// [`ChoicePolicy`]: the one object behind every chooser in the repo.
 pub struct Chooser<'a> {
@@ -422,6 +440,46 @@ mod tests {
         assert_eq!(c.plan, 0);
         assert_eq!(c.runner_up, None);
         assert_eq!(c.margin, 0.0);
+        // The margin is 0.0 only because there is nothing to lose to: a
+        // single-plan decision is never contested, whatever the threshold.
+        assert!(!c.is_contested(0.0));
+        assert!(!c.is_contested(1.0));
+        assert!(!c.is_contested(f64::INFINITY));
+    }
+
+    #[test]
+    fn exact_tie_is_contested_at_zero_threshold() {
+        let (w, stats, model) = setup();
+        // Two copies of the same catalog plan: scores tie exactly, margin
+        // is 0.0, and unlike the single-plan case the decision IS
+        // maximally contested.
+        let mut pair = two_predicate_plans(SystemId::C, &w);
+        pair.truncate(1);
+        pair.extend(two_predicate_plans(SystemId::C, &w).into_iter().take(1));
+        let chooser =
+            Chooser { plans: &pair, stats: &stats, model: &model, policy: ChoicePolicy::Point };
+        let (ta, tb) = (w.cal_a.threshold(0.1), w.cal_b.threshold(0.1));
+        let c = chooser.choose(&Exact::of(&w), ta, tb);
+        assert_eq!(c.plan, 0, "ties break to the lower index");
+        assert_eq!(c.runner_up, Some(1));
+        assert_eq!(c.margin, 0.0);
+        assert!(c.is_contested(0.0), "an exact tie is contested even at threshold 0");
+        assert!(c.is_contested(0.1));
+    }
+
+    #[test]
+    fn contested_threshold_scales_with_the_winning_score() {
+        let (w, stats, model) = setup();
+        let plans = two_predicate_plans(SystemId::A, &w);
+        let chooser =
+            Chooser { plans: &plans, stats: &stats, model: &model, policy: ChoicePolicy::Point };
+        let (ta, tb) = (w.cal_a.threshold(0.1), w.cal_b.threshold(0.1));
+        let c = chooser.choose(&Exact::of(&w), ta, tb);
+        assert!(c.margin > 0.0, "distinct plans should not tie exactly here");
+        // Relative threshold: contested exactly when margin <= t * score.
+        let ratio = c.margin / c.score;
+        assert!(c.is_contested(ratio * 2.0));
+        assert!(!c.is_contested(ratio / 2.0));
     }
 
     #[test]

@@ -33,7 +33,14 @@
 //! to pick under those beliefs (point argmin or penalty-aware robust
 //! hedging), and a [`Chooser`] binds a catalog to both.  The free
 //! functions in [`optimizer`] and [`robust`] are deprecated shims over it.
+//!
+//! Run-time adaptivity lives in [`adaptive`]: a [`SwitchPolicy`] decides
+//! when an observed cardinality discredits the compile-time choice, and a
+//! [`BailController`] re-costs the remaining pipeline against the
+//! choice-free fallback before telling the executor's adaptive layer to
+//! switch mid-flight.
 
+pub mod adaptive;
 pub mod choice;
 pub mod optimizer;
 pub mod robust;
@@ -41,10 +48,15 @@ pub mod single_pred;
 pub mod system;
 pub mod two_pred;
 
+pub use adaptive::{
+    two_pred_bail_controller, two_pred_bail_controller_banded, BailController, SwitchPolicy,
+    CARDINALITY_NOISE_ROWS,
+    DEFAULT_BAND_FACTOR,
+};
 pub use choice::{Choice, ChoicePolicy, Chooser, Estimator};
 #[allow(deprecated)] // the legacy shims stay importable while callers migrate
 pub use optimizer::choose_plan;
-pub use optimizer::{estimate_cost, CatalogStats, SelEstimates};
+pub use optimizer::{estimate_cost, estimate_fetch, CatalogStats, SelEstimates};
 #[allow(deprecated)]
 pub use robust::{choose_plan_robust, choose_plan_with_joint};
 pub use robust::{credible_region, uncertainty_region, RobustConfig, SelHypothesis};

@@ -278,7 +278,16 @@ fn leading_selectivity(
     }
 }
 
-fn estimate_fetch(rows_to_fetch: f64, stats: &CatalogStats, fetch: &FetchKind, model: &CostModel) -> f64 {
+/// Cost (in model seconds) of fetching `rows_to_fetch` heap rows under the
+/// given fetch discipline — shared by the plan formulas above and by the
+/// adaptive layer's mid-flight re-costing ([`crate::adaptive`]), which
+/// substitutes an *observed* cardinality for the estimate.
+pub fn estimate_fetch(
+    rows_to_fetch: f64,
+    stats: &CatalogStats,
+    fetch: &FetchKind,
+    model: &CostModel,
+) -> f64 {
     let touched_pages = rows_to_fetch.min(stats.heap_pages);
     match fetch {
         FetchKind::Traditional => rows_to_fetch * model.random_page_read,

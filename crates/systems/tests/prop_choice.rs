@@ -18,7 +18,8 @@ use proptest::prelude::*;
 use robustmap_storage::CostModel;
 use robustmap_systems::choice::{Choice, ChoicePolicy, Chooser};
 use robustmap_systems::{
-    choose_plan, estimate_cost, CatalogStats, RobustConfig, SelEstimates, SelHypothesis, SystemId,
+    choose_plan, estimate_cost, CatalogStats, RobustConfig, SelEstimates, SelHypothesis,
+    SwitchPolicy, SystemId, CARDINALITY_NOISE_ROWS,
 };
 use robustmap_workload::{TableBuilder, Workload, WorkloadConfig};
 
@@ -37,6 +38,21 @@ fn full_catalog(w: &Workload) -> Vec<robustmap_systems::TwoPredPlan> {
 /// figure uses, plus the clamping edges.
 fn sel_from(exp2: u32, jitter: f64) -> f64 {
     (0.5f64.powi(exp2 as i32) * (1.0 + jitter)).clamp(0.0, 1.0)
+}
+
+/// A synthetic compile-time choice carrying just the fields
+/// [`SwitchPolicy`] reads — the cardinality contracts are about the
+/// margin, not which plan won.
+fn dummy_choice(margin: f64) -> Choice {
+    Choice {
+        plan: 0,
+        name: "synthetic".to_string(),
+        score: 1.0,
+        expected: 1.0,
+        tail: 1.0,
+        runner_up: Some(1),
+        margin,
+    }
 }
 
 fn coherent(c: &Choice, plan_count: usize) {
@@ -146,6 +162,86 @@ proptest! {
         let again = chooser.choose(&est, ta, tb);
         prop_assert_eq!(&first, &again);
         coherent(&first, plans.len());
+    }
+
+    /// `SwitchPolicy::should_switch` is monotone in the observed
+    /// cardinality: once an observation trips the policy, every larger
+    /// observation trips it too, and nothing at or below the credible
+    /// band's upper edge ever trips.
+    #[test]
+    fn switch_policy_is_monotone_in_observed(
+        expected in 0.0f64..1e6,
+        band_factor in 0.25f64..8.0,
+        margin in 0.0f64..1e4,
+        penalty in 0.01f64..4.0,
+        observed in 0u64..4_000_000,
+        delta in 0u64..4_000_000,
+    ) {
+        let choice = dummy_choice(margin);
+        let cfg = RobustConfig { tail_quantile: 0.9, penalty_weight: penalty };
+        let policy = SwitchPolicy::from_choice(&choice, expected, band_factor, cfg);
+        prop_assert_eq!(
+            policy.band_hi.to_bits(),
+            (expected * band_factor + CARDINALITY_NOISE_ROWS).to_bits()
+        );
+        if policy.should_switch(observed) {
+            prop_assert!(
+                policy.should_switch(observed + delta),
+                "tripped at {observed} but not at {}", observed + delta
+            );
+        }
+        // At or below the band edge never trips (the noise floor's job).
+        let in_band = policy.band_hi.floor().clamp(0.0, 4e6) as u64;
+        prop_assert!(!policy.should_switch(in_band));
+    }
+
+    /// The degenerate policies never switch and never pay: margin ∞, zero
+    /// penalty, and the explicit `SwitchPolicy::never()` are all inert for
+    /// any observation and any re-costed comparison.
+    #[test]
+    fn degenerate_switch_policies_are_inert(
+        expected in 0.0f64..1e6,
+        observed in 0u64..4_000_000,
+        remaining in 0.0f64..1e9,
+        alternative in 0.0f64..1e9,
+        penalty in 0.01f64..4.0,
+    ) {
+        let live_cfg = RobustConfig { tail_quantile: 0.9, penalty_weight: penalty };
+        let infinite_margin = SwitchPolicy::from_choice(
+            &dummy_choice(f64::INFINITY), expected, 0.5, live_cfg,
+        );
+        let zero_penalty = SwitchPolicy::from_choice(
+            &dummy_choice(0.0),
+            expected,
+            0.5,
+            RobustConfig { tail_quantile: 0.9, penalty_weight: 0.0 },
+        );
+        for policy in [infinite_margin, zero_penalty, SwitchPolicy::never()] {
+            prop_assert!(!policy.should_switch(observed));
+            prop_assert!(!policy.switch_pays(remaining, alternative));
+        }
+    }
+
+    /// `switch_pays` demands strict dominance past the hedging slack: it
+    /// never fires when continuing is at least as cheap, and it is
+    /// monotone in how much the corrected continue-cost exceeds the
+    /// alternative.
+    #[test]
+    fn switch_pays_requires_strict_dominance(
+        margin in 0.0f64..1e4,
+        penalty in 0.01f64..4.0,
+        remaining in 0.0f64..1e9,
+        alternative in 0.0f64..1e9,
+        extra in 0.0f64..1e9,
+    ) {
+        let cfg = RobustConfig { tail_quantile: 0.9, penalty_weight: penalty };
+        let policy = SwitchPolicy::from_choice(&dummy_choice(margin), 100.0, 2.0, cfg);
+        if remaining <= alternative {
+            prop_assert!(!policy.switch_pays(remaining, alternative));
+        }
+        if policy.switch_pays(remaining, alternative) {
+            prop_assert!(policy.switch_pays(remaining + extra, alternative));
+        }
     }
 
     /// Choices are coherent for arbitrary weighted regions: margin >= 0,
