@@ -19,6 +19,8 @@
 //!   robust chooser vs the point-estimate optimizer vs the oracle.
 //! * `ext_adaptive` — the run-time fix: mid-flight plan switching from
 //!   observed cardinalities, with no joint statistics at compile time.
+//! * `ext_concurrency` — concurrent serving: N queries over one shared
+//!   buffer pool, concurrency level as a map axis.
 //! * `ext_regression` — the §4 regression benchmark, runnable as a gate.
 
 use robustmap_core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
@@ -2109,4 +2111,332 @@ pub fn ext_buffer(h: &Harness) -> FigureOutput {
     );
     let files = vec![h.write_artifact("ext_buffer.csv", &csv)];
     FigureOutput::new("ext_buffer", report, files)
+}
+
+/// Concurrent serving: the multi-query axis none of the paper's maps
+/// sweep.  Every figure so far measures one query against an idle system;
+/// `core::serve_concurrent` lets us put *concurrency level* on an axis —
+/// N queries interleaved deterministically over one shared buffer pool —
+/// and map how each of the 15 catalog plans degrades (or benefits: a
+/// convoy of identical queries shares pages) as the system fills up.
+///
+/// Panel A sweeps a diverse burst (the whole catalog, round-robin) across
+/// concurrency 1..256 at `max_in_flight = N`, and maps per-plan slowdown
+/// relative to the isolated measurement.  Panel B runs *convoys* — N
+/// copies of one plan — where lockstep scheduling turns contention into
+/// cross-query buffer sharing.  Panel C drives the admission controller's
+/// memory budget into the sort-spill cliff: the same sort, spilled or not
+/// purely by how crowded the server is.
+///
+/// The named checks pin the serving layer's contracts at figure scale:
+/// concurrency 1 bit-identical to isolated measurement, total work
+/// invariant to interleaving, deterministic replay, FIFO admission,
+/// exact per-query attribution, and the contention-induced spill.
+pub fn ext_concurrency(h: &Harness) -> FigureOutput {
+    use robustmap_core::regression::RegressionSuite;
+    use robustmap_core::{serve_concurrent, ServeConfig};
+    use robustmap_systems::{two_predicate_plans, AdmissionConfig};
+    use robustmap_workload::{TableBuilder, WorkloadConfig};
+
+    // Serving multiplies work by the burst size, so the concurrency maps
+    // use a reduced table (2^16 rows at figure scale) and a pool scaled to
+    // stay smaller than the table — contention must be able to hurt.
+    let rows = h.config.rows.min(1 << 16);
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(rows));
+    let pool_pages = ((rows / 512) as usize).max(32);
+    let mcfg = MeasureConfig { pool_pages, ..h.config.measure.clone() };
+    let base_serve = ServeConfig {
+        pool_pages,
+        policy: mcfg.policy,
+        model: mcfg.model.clone(),
+        ..ServeConfig::default()
+    };
+    let serve_at = |max_in_flight: usize| ServeConfig {
+        admission: AdmissionConfig { max_in_flight, ..AdmissionConfig::default() },
+        ..base_serve.clone()
+    };
+
+    let plans: Vec<robustmap_systems::TwoPredPlan> = SystemId::all()
+        .into_iter()
+        .flat_map(|s| two_predicate_plans(s, &w))
+        .collect();
+    let specs: Vec<PlanSpec> =
+        plans.iter().map(|p| p.build(w.cal_a.threshold(0.15), w.cal_b.threshold(0.4))).collect();
+    let isolated: Vec<_> = specs.iter().map(|s| measure_plan(&w.db, s, &mcfg)).collect();
+    let work_sig = |io: &robustmap_storage::IoStats| {
+        (io.page_requests(), io.page_writes, io.cpu_rows, io.cpu_compares, io.cpu_hashes)
+    };
+
+    let mut suite = RegressionSuite::new();
+    let mut report = String::from(
+        "Extension N: concurrent serving — 15-plan burst over one shared buffer pool\n",
+    );
+    report.push_str(&format!(
+        "rows {rows}, pool {pool_pages} pages, quantum {} charges, per-plan slowdown vs isolated\n",
+        base_serve.quantum
+    ));
+
+    // Panel A: the diverse burst at each concurrency level.
+    let levels: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+    report.push_str(&format!("{:>28}", "plan \\ concurrency"));
+    for n in levels {
+        report.push_str(&format!(" {n:>7}"));
+    }
+    report.push('\n');
+    let mut sweep_csv = String::from("plan,concurrency,mean_seconds,isolated_seconds,slowdown\n");
+    let mut slowdown = vec![0.0f64; plans.len() * levels.len()];
+    let mut identity_at_one = true;
+    let mut work_invariant = true;
+    let mut fifo_ok = true;
+    let mut level8 = None;
+    for (li, &n) in levels.iter().enumerate() {
+        let burst_len = specs.len() * n.div_ceil(specs.len());
+        let burst: Vec<PlanSpec> =
+            (0..burst_len).map(|j| specs[j % specs.len()].clone()).collect();
+        let rep = serve_concurrent(&w.db, &burst, &serve_at(n));
+        fifo_ok &= rep.admission_order == (0..burst_len).collect::<Vec<_>>()
+            && rep.queries.len() == burst_len;
+        let mut sums = vec![0.0f64; specs.len()];
+        for (j, q) in rep.queries.iter().enumerate() {
+            let p = j % specs.len();
+            sums[p] += q.stats.seconds;
+            work_invariant &= work_sig(&q.stats.io) == work_sig(&isolated[p].io)
+                && q.stats.rows_out == isolated[p].rows;
+            if n == 1 {
+                identity_at_one &= q.stats.seconds.to_bits() == isolated[p].seconds.to_bits()
+                    && q.stats.io == isolated[p].io;
+            }
+        }
+        let per_plan = burst_len / specs.len();
+        for (p, plan) in plans.iter().enumerate() {
+            let mean = sums[p] / per_plan as f64;
+            slowdown[p * levels.len() + li] = mean / isolated[p].seconds;
+            sweep_csv.push_str(&format!(
+                "{},{n},{:e},{:e},{:.4}\n",
+                plan.name,
+                mean,
+                isolated[p].seconds,
+                mean / isolated[p].seconds
+            ));
+        }
+        if n == 8 {
+            level8 = Some(rep);
+        }
+    }
+    for (p, plan) in plans.iter().enumerate() {
+        report.push_str(&format!("{:>28}", plan.name));
+        for li in 0..levels.len() {
+            report.push_str(&format!(" {:>6.2}x", slowdown[p * levels.len() + li]));
+        }
+        report.push('\n');
+    }
+    suite.check_named(
+        "concurrency 1: all 15 plans bit-identical to their isolated measurements",
+        identity_at_one,
+        String::new(),
+    );
+    suite.check_named(
+        "total work per query (requests, writes, cpu) invariant across concurrency 1..256",
+        work_invariant,
+        String::new(),
+    );
+    suite.check_named(
+        "admission is FIFO and every query of every burst completes",
+        fifo_ok,
+        String::new(),
+    );
+
+    // Accounting and determinism at one mid-scale level.
+    let level8 = level8.expect("levels include 8");
+    let (hits, misses, _) = level8.pool_counters;
+    let share_sum_ok = level8.queries.iter().map(|q| q.pool_hits).sum::<u64>() == hits
+        && level8.queries.iter().map(|q| q.pool_misses).sum::<u64>() == misses
+        && level8.idle_resets == 0;
+    suite.check_named(
+        "per-query pool shares partition the shared pool's counters exactly (level 8)",
+        share_sum_ok,
+        format!("{hits} hits + {misses} misses attributed"),
+    );
+    let burst8: Vec<PlanSpec> = (0..specs.len()).map(|j| specs[j].clone()).collect();
+    let rep_a = serve_concurrent(&w.db, &burst8, &serve_at(8));
+    let rep_b = serve_concurrent(&w.db, &burst8, &serve_at(8));
+    let deterministic = rep_a.completion_order == rep_b.completion_order
+        && rep_a.pool_counters == rep_b.pool_counters
+        && rep_a
+            .queries
+            .iter()
+            .zip(&rep_b.queries)
+            .all(|(x, y)| x.stats.seconds.to_bits() == y.stats.seconds.to_bits()
+                && x.stats.io == y.stats.io);
+    suite.check_named(
+        "serving is deterministic: replaying a level-8 burst reproduces every bit",
+        deterministic,
+        String::new(),
+    );
+
+    // Panel B: convoys — N copies of one plan in lockstep share the pool.
+    report.push_str("\nconvoys: N identical queries, mean per-query seconds (vs isolated)\n");
+    let mut csv = String::from("plan,selectivity,concurrency,mean_seconds,isolated_seconds,hit_share\n");
+    let convoy_levels = [1usize, 8, 64];
+    let mut convoy_fetch_speedup = f64::INFINITY;
+    for sel in [1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0] {
+        let t = w.cal_a.threshold(sel);
+        let scan = PlanSpec::TableScan {
+            table: w.table,
+            pred: Predicate::single(ColRange::at_most(COL_A, t)),
+            project: Projection::All,
+        };
+        let fetch = PlanSpec::IndexFetch {
+            scan: IndexRangeSpec {
+                index: w.indexes.a,
+                range: KeyRange::on_leading(i64::MIN, t, 1),
+            },
+            key_filter: Predicate::always_true(),
+            fetch: FetchKind::Traditional,
+            residual: Predicate::single(ColRange::at_most(COL_B, w.cal_b.threshold(1.0))),
+            project: Projection::All,
+        };
+        for (name, plan) in [("table scan", &scan), ("traditional fetch", &fetch)] {
+            let iso = measure_plan(&w.db, plan, &mcfg).seconds;
+            report.push_str(&format!("{name:>20} @ {sel:>8.4}:"));
+            for &n in &convoy_levels {
+                let burst: Vec<PlanSpec> = (0..n).map(|_| plan.clone()).collect();
+                let rep = serve_concurrent(&w.db, &burst, &serve_at(n));
+                let mean =
+                    rep.queries.iter().map(|q| q.stats.seconds).sum::<f64>() / n as f64;
+                let (requests, hits) = rep.queries.iter().fold((0u64, 0u64), |(r, hh), q| {
+                    (r + q.pool_hits + q.pool_misses, hh + q.pool_hits)
+                });
+                let hit_share = if requests == 0 { 0.0 } else { hits as f64 / requests as f64 };
+                report.push_str(&format!(" {:>9.4}s ({:.2}x)", mean, mean / iso));
+                csv.push_str(&format!(
+                    "{name},{sel:e},{n},{mean:e},{iso:e},{hit_share:.4}\n"
+                ));
+                if name == "traditional fetch" && sel == 0.25 && n == 64 {
+                    convoy_fetch_speedup = mean / iso;
+                }
+            }
+            report.push('\n');
+        }
+    }
+    suite.check_named(
+        "convoy sharing: 64 lockstep fetches run no slower per query than one alone",
+        convoy_fetch_speedup <= 1.0 + 1e-9,
+        format!("{convoy_fetch_speedup:.3}x isolated"),
+    );
+    // Interference: the catalog mix overlaps on the same pages, so
+    // sharing dominates above.  Contention *hurts* when working sets are
+    // disjoint.  The victim is a traditional fetch (unsorted rids, so it
+    // re-reads each heap page many times over long temporal distances)
+    // under a pool that just fits the heap: alone, everything after the
+    // first touch is a hit.  The flood is a covering-index-b scan — not
+    // one shared page with the victim — streaming enough disjoint pages
+    // through LRU to evict the victim's heap between its re-reads.
+    // Slack of 8 pages and a long quantum: each scheduling round the 8
+    // floods stream ~70 disjoint pages through the pool — far past the
+    // slack — so LRU must give up victim pages between the victim's
+    // slices.
+    let heap_pages = w.db.table(w.table).heap.page_count() as usize;
+    let ipool = heap_pages + 8;
+    let icfg = MeasureConfig { pool_pages: ipool, ..mcfg.clone() };
+    let iserve = ServeConfig { pool_pages: ipool, quantum: 4096, ..base_serve.clone() };
+    let victim = PlanSpec::IndexFetch {
+        scan: IndexRangeSpec {
+            index: w.indexes.a,
+            range: KeyRange::on_leading(i64::MIN, w.cal_a.threshold(0.25), 1),
+        },
+        key_filter: Predicate::always_true(),
+        fetch: FetchKind::Traditional,
+        residual: Predicate::single(ColRange::at_most(COL_B, w.cal_b.threshold(1.0))),
+        project: Projection::All,
+    };
+    let flood = plans
+        .iter()
+        .find(|p| p.name.contains("covering(b,a)"))
+        .expect("catalog has the C4 covering scan")
+        .build(w.cal_a.threshold(1.0), w.cal_b.threshold(1.0));
+    let victim_alone = measure_plan(&w.db, &victim, &icfg);
+    let mut burst = vec![victim];
+    burst.extend((0..8).map(|_| flood.clone()));
+    let flooded = &serve_concurrent(&w.db, &burst, &iserve).queries[0];
+    report.push_str(&format!(
+        "\ninterference: traditional fetch vs 8 covering(b,a) floods (disjoint pages, pool \
+         {ipool}): {:.4}s alone -> {:.4}s flooded, hits {} -> {}\n",
+        victim_alone.seconds, flooded.stats.seconds, victim_alone.io.buffer_hits,
+        flooded.stats.io.buffer_hits,
+    ));
+    suite.check_named(
+        "interference churn: a disjoint covering-index flood slows the heap fetch",
+        flooded.stats.seconds > victim_alone.seconds
+            && flooded.stats.io.buffer_hits < victim_alone.io.buffer_hits,
+        format!(
+            "{:.2}x isolated, hits {} -> {}",
+            flooded.stats.seconds / victim_alone.seconds,
+            victim_alone.io.buffer_hits,
+            flooded.stats.io.buffer_hits
+        ),
+    );
+
+    // Panel C: the contention-induced spill cliff.
+    let full_sort = PlanSpec::Sort {
+        input: Box::new(PlanSpec::TableScan {
+            table: w.table,
+            pred: Predicate::single(ColRange::at_most(COL_A, w.cal_a.threshold(1.0))),
+            project: Projection::All,
+        }),
+        key_cols: vec![1],
+        mode: SpillMode::Abrupt,
+        memory_bytes: 8 << 20,
+    };
+    let cliff_cfg = ServeConfig {
+        admission: AdmissionConfig {
+            memory_budget: (8 << 20) + (64 << 10),
+            ..AdmissionConfig::default()
+        },
+        ..base_serve.clone()
+    };
+    let cliff = serve_concurrent(
+        &w.db,
+        &[full_sort.clone(), full_sort.clone(), full_sort],
+        &cliff_cfg,
+    );
+    let spills: Vec<bool> = cliff.queries.iter().map(|q| q.stats.spilled).collect();
+    let grants: Vec<usize> = cliff.queries.iter().map(|q| q.grant).collect();
+    report.push_str(&format!(
+        "\nadmission cliff: three identical sorts, budget 8 MiB + 64 KiB -> grants {:?}, spilled {:?}\n",
+        grants.iter().map(|g| g >> 10).collect::<Vec<_>>(),
+        spills
+    ));
+    suite.check_named(
+        "contention spill cliff: the shrunk-grant sort spills while its full-grant twins do not",
+        grants == vec![8 << 20, 64 << 10, 8 << 20] && spills == vec![false, true, false],
+        format!("grants(KiB) {:?}", grants.iter().map(|g| g >> 10).collect::<Vec<_>>()),
+    );
+
+    report.push_str("\nregression checks over the serving layer:\n");
+    let checks = format!(
+        "{}verdict: {}\n",
+        suite.report(),
+        if suite.passed() { "PASS" } else { "FAIL" }
+    );
+    report.push_str(&checks);
+
+    let level_axis: Vec<f64> = levels.iter().map(|&n| n as f64).collect();
+    let plan_axis: Vec<f64> = (1..=plans.len()).map(|p| p as f64).collect();
+    let files = vec![
+        h.write_artifact("ext_concurrency.csv", &csv),
+        h.write_artifact("ext_concurrency_sweep.csv", &sweep_csv),
+        h.write_artifact("ext_concurrency_checks.txt", &checks),
+        h.write_artifact(
+            "ext_concurrency.svg",
+            &heatmap_svg(
+                &slowdown,
+                &plan_axis,
+                &level_axis,
+                &relative_scale(),
+                "Per-plan slowdown under concurrency (x: plan index, y: concurrency level)",
+            ),
+        ),
+    ];
+    FigureOutput::new("ext_concurrency", report, files)
 }

@@ -46,6 +46,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_correlated",
     "ext_robust_choice",
     "ext_adaptive",
+    "ext_concurrency",
     "ext_regression",
 ];
 
@@ -83,6 +84,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_correlated" => figures_ext::ext_correlated(h),
         "ext_robust_choice" => figures_ext::ext_robust_choice(h),
         "ext_adaptive" => figures_ext::ext_adaptive(h),
+        "ext_concurrency" => figures_ext::ext_concurrency(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

@@ -26,7 +26,10 @@
 //! * [`render`] — the order-of-magnitude color scales of Figures 3 and 6,
 //!   ANSI terminal heat maps, SVG heat maps and log-log line plots, CSV;
 //! * [`report`] — plain-text tables that print the same series the paper's
-//!   figures show.
+//!   figures show;
+//! * [`serve`] — deterministic concurrent serving: bursts of queries over
+//!   one shared buffer pool, interleaved round-robin at charge-event
+//!   quanta, making contention a sweepable run-time condition.
 
 pub mod analysis;
 pub mod map;
@@ -37,6 +40,7 @@ pub mod regression;
 pub mod relative;
 pub mod render;
 pub mod report;
+pub mod serve;
 
 pub use map::{Map1D, Map2D, Series};
 pub use measure::{
@@ -47,3 +51,4 @@ pub use param::{Grid1D, Grid2D};
 pub use regions::{connected_components, BoolGrid, Region, RegionStats};
 pub use regression::{CheckConfig, CheckResult, RegressionSuite};
 pub use relative::{OptimalityTolerance, RelativeMap2D};
+pub use serve::{serve_concurrent, QueryOutcome, ServeConfig, ServeReport, ENV_QUANTUM};

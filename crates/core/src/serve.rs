@@ -1,0 +1,361 @@
+//! Deterministic concurrent serving: N queries over one shared buffer pool.
+//!
+//! The paper measures each plan/parameter combination in isolation; real
+//! servers run many queries at once, competing for the buffer pool and for
+//! memory grants.  [`serve_concurrent`] executes a burst of queries over a
+//! single [`SharedBufferPool`], interleaved by a deterministic round-robin
+//! scheduler, so contention becomes a sweepable run-time condition like
+//! selectivity or pool size — same inputs, bit-identical outputs, every
+//! run.
+//!
+//! ## Determinism by construction
+//!
+//! Concurrency is usually where determinism dies, so the scheduler is
+//! built to make every nondeterministic choice impossible rather than
+//! unlikely:
+//!
+//! * **One runnable query at a time.**  Each query runs on its own thread,
+//!   but a thread only executes while it holds the *baton* — a message on
+//!   its private channel.  Everyone else is parked inside their session's
+//!   yield hook waiting for the baton.  Threads exist purely to hold
+//!   suspended executor stacks; there is no parallel execution and hence
+//!   no racing on the shared pool.
+//! * **Yielding at charge granularity.**  The [`Session`] invokes its
+//!   yield hook every `quantum` charge events, *between* charges — never
+//!   in the middle of one.  Suspend/resume therefore cannot split or
+//!   reorder any simulated charge.
+//! * **All decisions from deterministic state.**  Which query runs next
+//!   (round-robin over the admitted set), who is admitted
+//!   ([`AdmissionPolicy`] over a FIFO arrival queue), and with what grant
+//!   are all pure functions of the burst and the config.  The only racy
+//!   moment is the initial "ready" announcement from each thread, which
+//!   happens before any query has charged anything — the order those
+//!   messages arrive in is irrelevant.
+//!
+//! ## The concurrency-1 contract
+//!
+//! Whenever the server goes idle between admissions (nothing running,
+//! queries still queued), it resets the shared pool.  A burst served at
+//! `max_in_flight = 1` therefore degenerates to cold-session-per-query —
+//! bit-identical (`seconds.to_bits()`, [`IoStats`](robustmap_storage::IoStats),
+//! per-operator stats) to
+//! measuring each query alone with today's static executor.  The
+//! differential suite `tests/concurrent_equivalence.rs` enforces this
+//! across the whole 15-plan catalog, and `ext_concurrency` re-checks it at
+//! figure scale.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use robustmap_executor::{execute_count_batched, ExecConfig, ExecCtx, ExecStats, PlanSpec};
+use robustmap_storage::{
+    CostModel, Database, EvictionPolicy, QueryShare, Session, SharedBufferPool,
+};
+use robustmap_systems::{apply_grant, AdmissionConfig, AdmissionDecision, AdmissionPolicy};
+
+use crate::measure::Measurement;
+
+/// Environment variable overriding [`ServeConfig::quantum`] (charge events
+/// between yields).  `scripts/verify.sh` re-runs the concurrent
+/// equivalence suite at an odd quantum to prove slicing is unobservable.
+pub const ENV_QUANTUM: &str = "ROBUSTMAP_QUANTUM";
+
+/// Run-time conditions for one served burst.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shared buffer pool size in pages (one pool for the whole burst).
+    pub pool_pages: usize,
+    /// Replacement policy of the shared pool.
+    pub policy: EvictionPolicy,
+    /// Cost model (hardware generation).
+    pub model: CostModel,
+    /// Charge events between yields (0 = never yield: each admitted query
+    /// runs to completion once scheduled).
+    pub quantum: u64,
+    /// Admission control limits (in-flight slots, memory budget, grants).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            pool_pages: 1024,
+            policy: EvictionPolicy::Lru,
+            model: CostModel::hdd_2009(),
+            quantum: 1024,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default config with the quantum read from [`ENV_QUANTUM`]
+    /// (invalid or unset values keep the default).
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(q) = std::env::var(ENV_QUANTUM).ok().and_then(|v| v.parse::<u64>().ok()) {
+            cfg.quantum = q;
+        }
+        cfg
+    }
+}
+
+/// What one served query produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Full executor statistics (rows, seconds, I/O, per-operator).
+    pub stats: ExecStats,
+    /// The memory grant the query ran under, in bytes.
+    pub grant: usize,
+    /// Shared-pool hits attributed to this query.
+    pub pool_hits: u64,
+    /// Shared-pool misses attributed to this query.
+    pub pool_misses: u64,
+    /// Times the query yielded the baton before completing.
+    pub yields: u64,
+}
+
+impl QueryOutcome {
+    /// This outcome as a map-builder [`Measurement`], for comparing served
+    /// executions against isolated [`crate::measure_plan`] cells.
+    pub fn measurement(&self) -> Measurement {
+        Measurement {
+            seconds: self.stats.seconds,
+            io: self.stats.io,
+            rows: self.stats.rows_out,
+            spilled: self.stats.spilled,
+        }
+    }
+}
+
+/// Everything a served burst produced, in arrival order.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-query outcomes, indexed like the input `specs`.
+    pub queries: Vec<QueryOutcome>,
+    /// Query indices in completion order.
+    pub completion_order: Vec<usize>,
+    /// Query indices in admission order (FIFO arrivals, so this is the
+    /// order the policy let them start).
+    pub admission_order: Vec<usize>,
+    /// Shared-pool `(hits, misses, evictions)` accumulated since the last
+    /// idle reset (the whole burst, if the server never went idle).
+    pub pool_counters: (u64, u64, u64),
+    /// Times the server went idle with queries still queued and reset the
+    /// shared pool (this is what makes `max_in_flight = 1` serving
+    /// cold-session-per-query).
+    pub idle_resets: u64,
+}
+
+/// A finished thread's payload, boxed to keep [`Event`] small.
+struct ThreadOutcome {
+    stats: ExecStats,
+    share: QueryShare,
+    yields: u64,
+}
+
+enum Event {
+    /// Query `i` yielded the baton (or announced readiness, before its
+    /// first slice).
+    Yield(usize),
+    /// Query `i` completed.
+    Done(usize, Box<ThreadOutcome>),
+}
+
+/// Serve a burst of queries concurrently over one shared buffer pool and
+/// return every outcome.  Queries arrive in `specs` order; admission is
+/// FIFO; scheduling is round-robin at `cfg.quantum` charge-event
+/// granularity.  Deterministic: identical inputs produce bit-identical
+/// reports (see module docs for why).
+pub fn serve_concurrent(db: &Database, specs: &[PlanSpec], cfg: &ServeConfig) -> ServeReport {
+    let n = specs.len();
+    let pool = Arc::new(SharedBufferPool::new(cfg.pool_pages, cfg.policy));
+    let default_grant = cfg.admission.default_grant;
+
+    let (evt_tx, evt_rx) = mpsc::channel::<Event>();
+    let mut batons: Vec<mpsc::Sender<usize>> = Vec::with_capacity(n);
+
+    let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+    let mut completion_order = Vec::with_capacity(n);
+    let mut admission_order = Vec::with_capacity(n);
+    let mut idle_resets = 0u64;
+
+    std::thread::scope(|scope| {
+        for (i, spec) in specs.iter().enumerate() {
+            let (go_tx, go_rx) = mpsc::channel::<usize>();
+            batons.push(go_tx);
+            let evt_tx = evt_tx.clone();
+            let pool = Arc::clone(&pool);
+            let model = cfg.model.clone();
+            let quantum = cfg.quantum;
+            scope.spawn(move || {
+                let session = Session::on_shared(model, pool);
+                // The hook parks this thread until the scheduler hands the
+                // baton back; the baton message carries the memory grant
+                // (only the first one matters — later batons repeat it).
+                let granted = Arc::new(AtomicUsize::new(default_grant));
+                let yields = Arc::new(AtomicU64::new(0));
+                let hook = {
+                    let granted = Arc::clone(&granted);
+                    let yields = Arc::clone(&yields);
+                    let evt_tx = evt_tx.clone();
+                    Box::new(move || {
+                        yields.fetch_add(1, Ordering::Relaxed);
+                        evt_tx.send(Event::Yield(i)).expect("scheduler hung up");
+                        let g = go_rx.recv().expect("scheduler dropped the baton");
+                        granted.store(g, Ordering::Relaxed);
+                    })
+                };
+                session.install_yield_hook(quantum, hook);
+                // Announce readiness and wait to be scheduled.  Nothing has
+                // been charged yet, so the racy arrival order of these
+                // ready events cannot affect any measurement.
+                session.yield_now();
+                let grant = granted.load(Ordering::Relaxed);
+                session.set_memory_grant(grant);
+                // A shrunk grant reshapes the plan (operators clamp to the
+                // grant and may now spill); a full grant leaves the plan
+                // and its charges byte-for-byte untouched.
+                let spec = if grant < default_grant {
+                    apply_grant(spec, grant)
+                } else {
+                    spec.clone()
+                };
+                let ctx = ExecCtx::new(db, &session, grant);
+                let stats = execute_count_batched(&spec, &ctx, &ExecConfig::from_env())
+                    .expect("served plans must be well-formed");
+                let share = session.query_pool_counters();
+                session.clear_yield_hook();
+                // The first yield was the ready announcement, not a slice.
+                let yields = yields.load(Ordering::Relaxed).saturating_sub(1);
+                evt_tx
+                    .send(Event::Done(i, Box::new(ThreadOutcome { stats, share, yields })))
+                    .expect("scheduler hung up");
+            });
+        }
+        drop(evt_tx);
+
+        // Phase 1: wait for every thread to park in its hook.  After this
+        // point exactly one thread runs at a time — the baton holder.
+        for _ in 0..n {
+            match evt_rx.recv().expect("a serving thread died before ready") {
+                Event::Yield(_) => {}
+                Event::Done(i, _) => unreachable!("query {i} finished before being scheduled"),
+            }
+        }
+
+        // Phase 2: admit and round-robin until the burst drains.
+        let mut policy = AdmissionPolicy::new(cfg.admission.clone());
+        let mut pending: std::collections::VecDeque<usize> = (0..n).collect();
+        let mut running: Vec<usize> = Vec::new();
+        let mut grants = vec![0usize; n];
+        let mut cursor = 0usize;
+        let mut completed = 0usize;
+        while completed < n {
+            if running.is_empty() && completed > 0 && !pending.is_empty() {
+                // Idle between admissions: restore cold conditions, so a
+                // serialized burst measures exactly like isolated queries.
+                pool.reset();
+                idle_resets += 1;
+            }
+            while !pending.is_empty() {
+                match policy.admit() {
+                    AdmissionDecision::Run { grant } => {
+                        let q = pending.pop_front().expect("checked non-empty");
+                        grants[q] = grant;
+                        admission_order.push(q);
+                        running.push(q);
+                    }
+                    AdmissionDecision::Queue => break,
+                }
+            }
+            assert!(!running.is_empty(), "admission deadlock: nothing running or admissible");
+            let q = running[cursor];
+            batons[q].send(grants[q]).expect("query thread died holding work");
+            match evt_rx.recv().expect("query thread died mid-slice") {
+                Event::Yield(i) => {
+                    debug_assert_eq!(i, q, "baton discipline violated");
+                    cursor = (cursor + 1) % running.len();
+                }
+                Event::Done(i, out) => {
+                    debug_assert_eq!(i, q, "baton discipline violated");
+                    outcomes[i] = Some(QueryOutcome {
+                        stats: out.stats,
+                        grant: grants[i],
+                        pool_hits: out.share.hits,
+                        pool_misses: out.share.misses,
+                        yields: out.yields,
+                    });
+                    completion_order.push(i);
+                    policy.release(grants[i]);
+                    running.remove(cursor);
+                    if cursor >= running.len() {
+                        cursor = 0;
+                    }
+                    completed += 1;
+                }
+            }
+        }
+    });
+
+    ServeReport {
+        queries: outcomes
+            .into_iter()
+            .map(|o| o.expect("every query completed"))
+            .collect(),
+        completion_order,
+        admission_order,
+        pool_counters: pool.counters(),
+        idle_resets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustmap_executor::{ColRange, Predicate, Projection};
+    use robustmap_workload::{TableBuilder, WorkloadConfig};
+
+    fn scan_spec(w: &robustmap_workload::Workload, sel: f64) -> PlanSpec {
+        PlanSpec::TableScan {
+            table: w.table,
+            pred: Predicate::single(ColRange::at_most(0, w.cal_a.threshold(sel))),
+            project: Projection::All,
+        }
+    }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 10));
+        let report = serve_concurrent(&w.db, &[], &ServeConfig::default());
+        assert!(report.queries.is_empty());
+        assert!(report.completion_order.is_empty());
+        assert_eq!(report.idle_resets, 0);
+    }
+
+    #[test]
+    fn burst_of_scans_completes_with_correct_rows() {
+        let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 10));
+        let specs = vec![scan_spec(&w, 0.25), scan_spec(&w, 0.5), scan_spec(&w, 1.0)];
+        let report = serve_concurrent(&w.db, &specs, &ServeConfig::default());
+        assert_eq!(report.queries.len(), 3);
+        assert_eq!(report.queries[2].stats.rows_out, 1 << 10);
+        assert!(report.queries[0].stats.rows_out < report.queries[1].stats.rows_out);
+        // Unbounded admission: everyone admitted up front, FIFO.
+        assert_eq!(report.admission_order, vec![0, 1, 2]);
+        assert_eq!(report.idle_resets, 0);
+        // Identical scans interleaved over one pool share pages.
+        assert!(report.queries.iter().any(|q| q.pool_hits > 0));
+    }
+
+    #[test]
+    fn zero_quantum_serializes_each_admitted_query() {
+        let w = TableBuilder::build_cached(WorkloadConfig::with_rows(1 << 10));
+        let specs = vec![scan_spec(&w, 1.0), scan_spec(&w, 1.0)];
+        let cfg = ServeConfig { quantum: 0, ..ServeConfig::default() };
+        let report = serve_concurrent(&w.db, &specs, &cfg);
+        assert_eq!(report.completion_order, vec![0, 1]);
+        assert!(report.queries.iter().all(|q| q.yields == 0));
+    }
+}

@@ -81,7 +81,6 @@ pub struct ExecCtx<'a> {
     /// Memory grant for memory-intensive operators, in bytes (the paper
     /// hints memory allocation explicitly).
     pub memory_bytes: usize,
-    temp_counter: Cell<u32>,
     temp_base: u32,
     spilled: Cell<bool>,
     op_stats: RefCell<Vec<OpStats>>,
@@ -94,19 +93,20 @@ impl<'a> ExecCtx<'a> {
             db,
             session,
             memory_bytes,
-            temp_counter: Cell::new(0),
             temp_base: db.temp_file_base(),
             spilled: Cell::new(false),
             op_stats: RefCell::new(Vec::new()),
         }
     }
 
-    /// Allocate a file id for a temporary (spill) file; never collides with
-    /// catalog objects.
+    /// Allocate a file id for a temporary (spill) file; never collides
+    /// with catalog objects.  Allocation goes through the session's pool
+    /// — one central counter per (shared) buffer pool — so interleaved
+    /// spills from concurrently served queries can never receive the same
+    /// id.  On a private session the sequence is `temp_base + 0, 1, ...`,
+    /// exactly the pre-refactor per-context numbering.
     pub fn alloc_temp_file(&self) -> FileId {
-        let n = self.temp_counter.get();
-        self.temp_counter.set(n + 1);
-        FileId(self.temp_base + n)
+        self.session.alloc_temp_file(self.temp_base)
     }
 
     /// Record that some operator spilled.
@@ -620,6 +620,34 @@ mod tests {
     use crate::plan::{
         AggFn, ImprovedFetchConfig, IndexRangeSpec, IntersectAlgo, KeyRange, Projection, SpillMode,
     };
+
+    /// Two contexts spilling against one shared pool must never receive
+    /// the same temp file id, no matter how their allocations interleave —
+    /// the collision the central allocator exists to prevent.  (With the
+    /// old per-context counters, both sequences below would have been
+    /// `base+0, base+1, ...`.)
+    #[test]
+    fn interleaved_spills_never_share_temp_files() {
+        use robustmap_storage::{CostModel, EvictionPolicy, SharedBufferPool};
+        use std::sync::Arc;
+        let (db, _t) = demo_db(64);
+        let pool = Arc::new(SharedBufferPool::new(16, EvictionPolicy::Lru));
+        let s1 = Session::on_shared(CostModel::hdd_2009(), Arc::clone(&pool));
+        let s2 = Session::on_shared(CostModel::hdd_2009(), Arc::clone(&pool));
+        let ctx1 = ExecCtx::new(&db, &s1, 1 << 20);
+        let ctx2 = ExecCtx::new(&db, &s2, 1 << 20);
+        let mut seen = std::collections::HashSet::new();
+        for _round in 0..5 {
+            // The schedule of two interleaved external sorts: each query
+            // alternately allocates a run file.
+            for ctx in [&ctx1, &ctx2] {
+                let id = ctx.alloc_temp_file();
+                assert!(id.0 >= db.temp_file_base());
+                assert!(seen.insert(id), "temp file {id:?} allocated twice");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
 
     /// All plans answering `SELECT * FROM demo WHERE a <= ca AND b <= cb`
     /// must agree, whatever the physical shape.

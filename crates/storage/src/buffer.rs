@@ -362,6 +362,58 @@ mod tests {
     }
 
     #[test]
+    fn clock_invalidate_file_frees_slots_the_hand_skips() {
+        // The Clock hand sweeps the slot arena; invalidate_file frees
+        // slots in place, so the sweep must skip entries whose slot no
+        // longer backs a resident page (`map[page] != idx`).  Interleave
+        // two "accessors" (two files) so freed slots sit between live
+        // ones, then force evictions through the holes.
+        let mut pool = BufferPool::new(4, EvictionPolicy::Clock);
+        pool.access(PageId::new(FileId(1), 0));
+        pool.access(PageId::new(FileId(2), 0));
+        pool.access(PageId::new(FileId(1), 1));
+        pool.access(PageId::new(FileId(2), 1));
+        assert_eq!(pool.resident(), 4);
+        pool.invalidate_file(FileId(1));
+        assert_eq!(pool.resident(), 2);
+        // Re-fill through the freed slots, then keep churning: every
+        // eviction decision walks the hand across freed + live slots.
+        for i in 0..100u32 {
+            pool.access(PageId::new(FileId(3), i % 9));
+            assert!(pool.resident() <= 4, "clock overflowed after invalidation");
+        }
+        // File 2's survivors were eventually evicted by the churn, not
+        // resurrected by stale slot state.
+        assert!(!pool.contains(PageId::new(FileId(1), 0)));
+        let (_, _, evictions) = pool.counters();
+        assert!(evictions > 0);
+    }
+
+    #[test]
+    fn clock_second_chance_survives_interleaved_invalidation() {
+        // A referenced page must still get its second chance when freed
+        // slots separate it from the hand.
+        let mut pool = BufferPool::new(3, EvictionPolicy::Clock);
+        pool.access(PageId::new(FileId(1), 0)); // slot 0
+        pool.access(PageId::new(FileId(2), 0)); // slot 1
+        pool.access(PageId::new(FileId(1), 1)); // slot 2
+        pool.invalidate_file(FileId(1)); // frees slots 0 and 2
+        // Touch the survivor so its reference bit is set, then insert two
+        // new pages (reusing freed slots) and force one eviction.
+        assert!(pool.access(PageId::new(FileId(2), 0)));
+        pool.access(PageId::new(FileId(3), 0));
+        pool.access(PageId::new(FileId(3), 1));
+        assert_eq!(pool.resident(), 3);
+        // Next insert evicts: the referenced survivor is spared on the
+        // first sweep (second chance), one of the unreferenced newcomers
+        // goes — unless the hand's first full pass cleared it; either way
+        // the pool stays consistent and at capacity.
+        pool.access(PageId::new(FileId(3), 2));
+        assert_eq!(pool.resident(), 3);
+        assert!(pool.contains(PageId::new(FileId(3), 2)));
+    }
+
+    #[test]
     fn reset_pool_equals_new_pool() {
         for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock] {
             let mut reused = BufferPool::new(4, policy);

@@ -15,6 +15,8 @@
 //! * [`buffer`] — a buffer pool (LRU or Clock) that simulates caching,
 //! * [`sim`] — the deterministic I/O + CPU cost model that stands in for the
 //!   paper's wall-clock measurements on real hardware,
+//! * [`shared`] — a buffer pool + temp-file namespace shared by N
+//!   concurrently served queries, with per-query attribution,
 //! * [`session`] — per-query accounting context tying the above together,
 //! * [`schema`] / [`table`] — rows, columns and the catalog.
 //!
@@ -37,6 +39,7 @@ pub mod heap;
 pub mod page;
 pub mod schema;
 pub mod session;
+pub mod shared;
 pub mod sim;
 pub mod table;
 
@@ -47,7 +50,8 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::{HeapFile, Rid};
 pub use page::{SlottedPage, PAGE_SIZE};
 pub use schema::{ColumnType, Row, Schema, MAX_COLUMNS};
-pub use session::Session;
+pub use session::{Session, YieldHook};
+pub use shared::{QueryId, QueryShare, SharedBufferPool};
 pub use sim::{AccessKind, CostModel, IoStats, SimClock};
 pub use table::{Database, IndexDef, IndexId, Table, TableId};
 

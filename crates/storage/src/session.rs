@@ -1,36 +1,86 @@
 //! Per-query accounting context.
 //!
-//! A [`Session`] bundles the cost model, the simulated clock and a private
-//! buffer pool.  Each measured query execution gets a fresh session so that
-//! map cells are independent and deterministic regardless of the order (or
-//! thread) in which the map builder visits them — mirroring the paper's
-//! practice of measuring each plan/parameter combination in isolation.
+//! A [`Session`] is the per-query half of the execution stack's split: it
+//! owns the query-private state — the cost model, the simulated
+//! [`SimClock`] (and therefore the per-query [`IoStats`]), the memory
+//! grant, and an optional yield hook for cooperative scheduling — and sits
+//! on top of a [`SharedBufferPool`], which owns the state queries share
+//! (page residency, per-query hit/miss attribution, the temp-file
+//! allocator).
+//!
+//! Two construction modes:
+//!
+//! * **Private pool** ([`Session::new`], [`Session::with_pool_pages`]): the
+//!   session wraps a [`SharedBufferPool`] of its own with exactly one
+//!   registered query.  This is the classic one-session-per-measurement
+//!   mode every map cell uses, and it is a *bit-identical* thin wrapper
+//!   over the shared machinery: the charge sequence (and therefore every
+//!   `f64` clock value), the I/O counters and the pool hit/miss behaviour
+//!   are exactly those of the pre-split private-pool session.
+//!   `tests/concurrent_equivalence.rs` and the storage unit tests pin this
+//!   contract.
+//! * **Shared pool** ([`Session::on_shared`]): N sessions register on one
+//!   pool and contend for residency; each still owns a private clock, so
+//!   per-query elapsed time and counters stay exact under sharing.
+//!
+//! Methods take `&self`; interior mutability keeps operator code free of
+//! borrow gymnastics.  A session is still driven by one thread at a time —
+//! the concurrent serving layer in `core::serve` interleaves whole
+//! sessions cooperatively (via the yield hook) rather than sharing one
+//! session across threads — but the session itself is `Send`, so each
+//! query may live on its own worker thread.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 
 use crate::buffer::{BufferPool, EvictionPolicy, FileId, PageId};
+use crate::shared::{QueryId, QueryShare, SharedBufferPool};
 use crate::sim::{AccessKind, CostModel, IoStats, SimClock};
 
+/// A cooperative-scheduling callback: invoked between charges, never
+/// charging work itself.
+pub type YieldHook = Box<dyn FnMut() + Send>;
+
 /// Execution context charging all storage traffic to a simulated clock.
-///
-/// Methods take `&self`; interior mutability keeps operator code free of
-/// borrow gymnastics (a session is single-threaded by construction).
 pub struct Session {
     model: CostModel,
     clock: SimClock,
-    pool: RefCell<BufferPool>,
+    pool: Arc<SharedBufferPool>,
+    query: QueryId,
+    /// Memory grant in bytes (informational; `usize::MAX` = ungoverned).
+    grant: Cell<usize>,
+    /// Charge events per scheduling quantum; 0 disables the yield hook.
+    yield_every: Cell<u64>,
+    ticks: Cell<u64>,
+    yielder: RefCell<Option<YieldHook>>,
 }
 
 impl Session {
-    /// Session with an explicit cost model and buffer pool.
+    /// Session with an explicit cost model and a private buffer pool.
     pub fn new(model: CostModel, pool: BufferPool) -> Self {
-        Session { model, clock: SimClock::new(), pool: RefCell::new(pool) }
+        Self::on_shared(model, Arc::new(SharedBufferPool::from_pool(pool)))
     }
 
-    /// Session with the default HDD model and a pool of `pool_pages` pages
-    /// under LRU replacement.
+    /// Session with the default HDD model and a private pool of
+    /// `pool_pages` pages under LRU replacement.
     pub fn with_pool_pages(pool_pages: usize) -> Self {
         Self::new(CostModel::hdd_2009(), BufferPool::new(pool_pages, EvictionPolicy::Lru))
+    }
+
+    /// Session registered as a new query on an existing shared pool: the
+    /// per-query context of the concurrent serving layer.
+    pub fn on_shared(model: CostModel, pool: Arc<SharedBufferPool>) -> Self {
+        let query = pool.register_query();
+        Session {
+            model,
+            clock: SimClock::new(),
+            pool,
+            query,
+            grant: Cell::new(usize::MAX),
+            yield_every: Cell::new(0),
+            ticks: Cell::new(0),
+            yielder: RefCell::new(None),
+        }
     }
 
     /// The cost model in effect.
@@ -38,16 +88,30 @@ impl Session {
         &self.model
     }
 
+    /// The shared pool this session charges residency against.
+    pub fn shared_pool(&self) -> &Arc<SharedBufferPool> {
+        &self.pool
+    }
+
+    /// This session's query identity on the shared pool.
+    pub fn query_id(&self) -> QueryId {
+        self.query
+    }
+
     /// Reset the session to its as-constructed state: clock at zero, all
-    /// counters cleared, buffer pool cold (same capacity and policy).
+    /// counters cleared, buffer pool cold (same capacity and policy), the
+    /// temp-file allocator rewound, quantum progress cleared.
     ///
     /// This is the warm-path sweep contract: a reset session measures a
     /// plan *identically* to a brand-new session — the map builder's
     /// per-thread arenas rely on it, and `core`'s warm-vs-cold tests assert
-    /// it cell by cell.
+    /// it cell by cell.  Note that the reset reaches the *whole* underlying
+    /// pool: on a genuinely shared pool, only the serving layer may reset,
+    /// and only while no query is in flight.
     pub fn reset(&self) {
         self.clock.reset();
-        self.pool.borrow_mut().reset();
+        self.pool.reset();
+        self.ticks.set(0);
     }
 
     /// The clock (for operators charging modelled CPU work directly).
@@ -69,59 +133,135 @@ impl Session {
     /// hit cost, a miss charges the disk cost for `kind`.
     #[inline]
     pub fn read_page(&self, page: PageId, kind: AccessKind) {
-        if self.pool.borrow_mut().access(page) {
+        if self.pool.access(self.query, page) {
             self.clock.charge_buffer_hit(&self.model);
         } else {
             self.clock.charge_read(&self.model, kind);
         }
+        self.tick();
     }
 
     /// Write `page` (spill files); the page becomes pool-resident.
     #[inline]
     pub fn write_page(&self, page: PageId) {
         self.clock.charge_write(&self.model);
-        self.pool.borrow_mut().access(page);
+        self.pool.access(self.query, page);
+        self.tick();
     }
 
     /// Drop a whole temp file from the pool (its pages will not be reused).
     pub fn invalidate_file(&self, file: FileId) {
-        self.pool.borrow_mut().invalidate_file(file);
+        self.pool.invalidate_file(file);
+    }
+
+    /// Allocate a temp-file id above `base` from the pool's central
+    /// allocator: ids are unique across every session sharing the pool, so
+    /// concurrent spills can never collide (and a private session numbers
+    /// its temp files exactly as before the split: `base + 0, 1, ...`).
+    pub fn alloc_temp_file(&self, base: u32) -> FileId {
+        self.pool.alloc_temp_file(base)
     }
 
     /// Charge CPU for `n` rows.
     #[inline]
     pub fn charge_rows(&self, n: u64) {
         self.clock.charge_rows(&self.model, n);
+        self.tick();
     }
 
     /// Charge CPU for `n` comparisons.
     #[inline]
     pub fn charge_compares(&self, n: u64) {
         self.clock.charge_compares(&self.model, n);
+        self.tick();
     }
 
     /// Charge CPU for `n` hash operations.
     #[inline]
     pub fn charge_hashes(&self, n: u64) {
         self.clock.charge_hashes(&self.model, n);
+        self.tick();
     }
 
-    /// Buffer pool hit/miss/eviction counters.
+    /// Buffer pool hit/miss/eviction counters (pool-level: shared sessions
+    /// see the sum over all queries; see [`Session::query_pool_counters`]
+    /// for this query's share).
     pub fn pool_counters(&self) -> (u64, u64, u64) {
-        self.pool.borrow().counters()
+        self.pool.counters()
+    }
+
+    /// This query's share of the pool's hit/miss counters.
+    pub fn query_pool_counters(&self) -> QueryShare {
+        self.pool.query_counters(self.query)
     }
 
     /// Buffer pool capacity in pages.
     pub fn pool_capacity(&self) -> usize {
-        self.pool.borrow().capacity()
+        self.pool.capacity()
+    }
+
+    /// Record this query's memory grant in bytes (admission control sets
+    /// it; `usize::MAX` until then).
+    pub fn set_memory_grant(&self, bytes: usize) {
+        self.grant.set(bytes);
+    }
+
+    /// The memory grant recorded by [`Session::set_memory_grant`].
+    pub fn memory_grant(&self) -> usize {
+        self.grant.get()
+    }
+
+    /// Install a cooperative yield hook: after every `every` charge events
+    /// the hook is invoked (between charges, so it can park the calling
+    /// thread without perturbing a single `f64` of simulated time).  The
+    /// scheduler in `core::serve` uses this to interleave N queries at
+    /// quantum granularity.  `every = 0` disables ticking; when no hook is
+    /// installed the per-charge overhead is one counter check.
+    pub fn install_yield_hook(&self, every: u64, hook: YieldHook) {
+        self.yield_every.set(every);
+        self.ticks.set(0);
+        *self.yielder.borrow_mut() = Some(hook);
+    }
+
+    /// Remove the yield hook (no further yields occur).
+    pub fn clear_yield_hook(&self) {
+        self.yield_every.set(0);
+        self.ticks.set(0);
+        *self.yielder.borrow_mut() = None;
+    }
+
+    /// Invoke the yield hook immediately, if installed (the serving layer
+    /// calls this once before execution to park the query until admission).
+    pub fn yield_now(&self) {
+        if let Some(hook) = self.yielder.borrow_mut().as_mut() {
+            hook();
+        }
+    }
+
+    #[inline]
+    fn tick(&self) {
+        let every = self.yield_every.get();
+        if every == 0 {
+            return;
+        }
+        let n = self.ticks.get() + 1;
+        if n >= every {
+            self.ticks.set(0);
+            self.yield_now();
+        } else {
+            self.ticks.set(n);
+        }
     }
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
+            .field("query", &self.query)
             .field("elapsed", &self.elapsed())
             .field("stats", &self.stats())
+            .field("pool_resident", &self.pool.resident())
+            .field("pool_capacity", &self.pool_capacity())
             .finish()
     }
 }
@@ -169,18 +309,19 @@ mod tests {
     #[test]
     fn reset_restores_fresh_session_behaviour() {
         let warm = Session::with_pool_pages(4);
-        // Dirty the session: misses, hits, evictions, CPU work.
+        // Dirty the session: misses, hits, evictions, CPU work, temp ids.
         for i in 0..16 {
             warm.read_page(pid(i), AccessKind::Random);
         }
         warm.charge_rows(100);
+        warm.alloc_temp_file(50);
         warm.reset();
         assert_eq!(warm.elapsed(), 0.0);
         assert_eq!(warm.stats(), IoStats::default());
         assert_eq!(warm.pool_counters(), (0, 0, 0));
         assert_eq!(warm.pool_capacity(), 4);
         // Replay a workload on the reset session and on a fresh one: the
-        // measurements must be identical.
+        // measurements must be identical, including temp-file numbering.
         let fresh = Session::with_pool_pages(4);
         for s in [&warm, &fresh] {
             for i in [0u32, 1, 0, 2, 3, 4, 0, 1] {
@@ -191,6 +332,7 @@ mod tests {
         assert_eq!(warm.stats(), fresh.stats());
         assert_eq!(warm.elapsed(), fresh.elapsed());
         assert_eq!(warm.pool_counters(), fresh.pool_counters());
+        assert_eq!(warm.alloc_temp_file(50), fresh.alloc_temp_file(50));
     }
 
     #[test]
@@ -200,5 +342,75 @@ mod tests {
         s.invalidate_file(FileId(7));
         s.read_page(pid(1), AccessKind::Random);
         assert_eq!(s.stats().random_reads, 2);
+    }
+
+    #[test]
+    fn shared_sessions_share_residency_but_not_clocks() {
+        let pool = Arc::new(SharedBufferPool::new(8, EvictionPolicy::Lru));
+        let a = Session::on_shared(CostModel::hdd_2009(), Arc::clone(&pool));
+        let b = Session::on_shared(CostModel::hdd_2009(), Arc::clone(&pool));
+        assert_ne!(a.query_id(), b.query_id());
+        a.read_page(pid(0), AccessKind::Random); // a misses
+        b.read_page(pid(0), AccessKind::Random); // b hits a's page
+        assert_eq!(a.stats().random_reads, 1);
+        assert_eq!(a.stats().buffer_hits, 0);
+        assert_eq!(b.stats().random_reads, 0);
+        assert_eq!(b.stats().buffer_hits, 1);
+        // Clocks are private: each query paid only its own charge.
+        assert!((a.elapsed() - a.model().random_page_read).abs() < 1e-12);
+        assert!((b.elapsed() - b.model().cpu_buffer_hit).abs() < 1e-12);
+        // Attribution partitions the pool counters.
+        let (hits, misses, _) = pool.counters();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+        assert_eq!(a.query_pool_counters().misses, 1);
+        assert_eq!(b.query_pool_counters().hits, 1);
+    }
+
+    #[test]
+    fn yield_hook_fires_every_quantum_and_charges_nothing() {
+        let s = Session::with_pool_pages(8);
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        s.install_yield_hook(
+            3,
+            Box::new(move || {
+                f.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..7 {
+            s.charge_rows(1);
+        }
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // The hook itself must not have charged anything: 7 row charges.
+        assert_eq!(s.stats().cpu_rows, 7);
+        assert!((s.elapsed() - 7.0 * s.model().cpu_row).abs() < 1e-15);
+        s.clear_yield_hook();
+        for _ in 0..9 {
+            s.charge_rows(1);
+        }
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn hooked_session_charges_identically_to_plain_session() {
+        // The bit-identity half of the scheduling design: ticking and
+        // yielding sit strictly between charges, so a session with an
+        // armed hook replays the exact f64 sequence of a plain one.
+        let plain = Session::with_pool_pages(4);
+        let hooked = Session::with_pool_pages(4);
+        hooked.install_yield_hook(2, Box::new(|| {}));
+        for s in [&plain, &hooked] {
+            for i in 0..32u32 {
+                s.read_page(pid(i % 9), AccessKind::Random);
+                s.charge_rows(3);
+                s.charge_compares(2);
+            }
+            s.write_page(pid(100));
+            s.charge_hashes(5);
+        }
+        assert_eq!(plain.elapsed().to_bits(), hooked.elapsed().to_bits());
+        assert_eq!(plain.stats(), hooked.stats());
+        assert_eq!(plain.pool_counters(), hooked.pool_counters());
     }
 }

@@ -39,8 +39,15 @@
 //! [`BailController`] re-costs the remaining pipeline against the
 //! choice-free fallback before telling the executor's adaptive layer to
 //! switch mid-flight.
+//!
+//! Multi-query contention is governed by [`admission`]: an
+//! [`AdmissionPolicy`] decides run / shrink-grant / queue for each arriving
+//! query, and [`apply_grant`] clamps plan operators to a shrunk grant so
+//! that contention — not just data volume — can push a plan over the
+//! paper's spill cliffs.
 
 pub mod adaptive;
+pub mod admission;
 pub mod choice;
 pub mod optimizer;
 pub mod robust;
@@ -48,6 +55,7 @@ pub mod single_pred;
 pub mod system;
 pub mod two_pred;
 
+pub use admission::{apply_grant, AdmissionConfig, AdmissionDecision, AdmissionPolicy};
 pub use adaptive::{
     two_pred_bail_controller, two_pred_bail_controller_banded, BailController, SwitchPolicy,
     CARDINALITY_NOISE_ROWS,

@@ -23,16 +23,18 @@ run cargo build --release --workspace --all-targets
 run cargo test -q --release --workspace
 run cargo test -q --release --workspace --doc
 
-# The batch-executor and adaptive no-switch differential suites run
-# inside the workspace tests above at the default batch size; run them
-# again at a deliberately odd size so partial final batches and mid-page
-# batch boundaries are exercised too (the knob must never change a
-# single charge, and a never-switching adaptive run must stay
-# bit-identical to the static executor at any batch size).
-echo "== batch + adaptive equivalence at ROBUSTMAP_BATCH_ROWS=513"
-ROBUSTMAP_BATCH_ROWS=513 run cargo test -q --release \
+# The batch-executor, adaptive no-switch and concurrent-serving
+# differential suites run inside the workspace tests above at the default
+# batch size and scheduling quantum; run them again at deliberately odd
+# sizes so partial final batches, mid-page batch boundaries and
+# mid-operator suspension points are exercised too (neither knob may
+# change a single charge: a never-switching adaptive run and a
+# concurrency-1 served run must stay bit-identical to the static
+# executor at any batch size or quantum).
+echo "== batch + adaptive + concurrent equivalence at ROBUSTMAP_BATCH_ROWS=513, ROBUSTMAP_QUANTUM=513"
+ROBUSTMAP_BATCH_ROWS=513 ROBUSTMAP_QUANTUM=513 run cargo test -q --release \
     --test batch_equivalence --test warm_sweep_equivalence \
-    --test adaptive_equivalence
+    --test adaptive_equivalence --test concurrent_equivalence
 run cargo clippy --release --workspace --all-targets -- -D warnings
 run cargo doc --no-deps --workspace
 
@@ -68,10 +70,10 @@ cmp target/figures-verify/fig1.csv crates/bench/baselines/fig1_smoke.csv || {
     exit 1
 }
 
-echo "== smoke 3/3: sort-spill + correlated + chooser + adaptive sweeps, and the regression-check gate"
+echo "== smoke 3/3: sort-spill + correlated + chooser + adaptive + concurrency sweeps, and the regression-check gate"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify \
-    ext_sort_spill ext_correlated ext_optimizer ext_robust_choice ext_adaptive ext_regression
+    ext_sort_spill ext_correlated ext_optimizer ext_robust_choice ext_adaptive ext_concurrency ext_regression
 test -s target/figures-verify/ext_sort_spill.csv
 test -s target/figures-verify/ext_correlated.csv
 test -s target/figures-verify/ext_correlated_regret.svg
@@ -84,32 +86,37 @@ test -s target/figures-verify/ext_robust_choice_robust_regret.svg
 test -s target/figures-verify/ext_adaptive.csv
 test -s target/figures-verify/ext_adaptive_checks.txt
 test -s target/figures-verify/ext_adaptive_regret.svg
+test -s target/figures-verify/ext_concurrency.csv
+test -s target/figures-verify/ext_concurrency_sweep.csv
+test -s target/figures-verify/ext_concurrency_checks.txt
+test -s target/figures-verify/ext_concurrency.svg
 # The regression gate spans the §4 benchmark (28 checks at the seed), the
 # robust-chooser subsystem's named checks (8), the estimator
-# comparison's (5) and the adaptive executor's (7): the combined floor
-# is 48, and every check must PASS (the figures binary prints, it does
-# not gate).
+# comparison's (5), the adaptive executor's (7) and the concurrent
+# serving layer's (8): the combined floor is 56, and every check must
+# PASS (the figures binary prints, it does not gate).
 checks_reg=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
 checks_robust=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_robust_choice_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_opt=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_optimizer_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_adapt=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_adaptive_checks.txt | head -1 | cut -d' ' -f1 || true)
-total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} + ${checks_opt:-0} + ${checks_adapt:-0} ))
+checks_conc=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_concurrency_checks.txt | head -1 | cut -d' ' -f1 || true)
+total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} + ${checks_opt:-0} + ${checks_adapt:-0} + ${checks_conc:-0} ))
 if [ "${checks_reg:-0}" -lt 28 ]; then
     echo "regression-check count ${checks_reg:-0} dropped below the seed's 28" >&2
     exit 1
 fi
-if [ "$total_checks" -lt 48 ]; then
-    echo "combined regression-check count $total_checks dropped below the floor of 48" >&2
+if [ "$total_checks" -lt 56 ]; then
+    echo "combined regression-check count $total_checks dropped below the floor of 56" >&2
     exit 1
 fi
-for report in ext_regression.txt ext_robust_choice_checks.txt ext_optimizer_checks.txt ext_adaptive_checks.txt; do
+for report in ext_regression.txt ext_robust_choice_checks.txt ext_optimizer_checks.txt ext_adaptive_checks.txt ext_concurrency_checks.txt; do
     grep -q 'verdict: PASS' "target/figures-verify/$report" || {
         echo "robustness regression benchmark FAILED ($report):" >&2
         grep '^\[FAIL\]' "target/figures-verify/$report" >&2
         exit 1
     }
 done
-echo "== regression-check count: $total_checks ($checks_reg + $checks_robust + $checks_opt + $checks_adapt, >= 48), verdicts PASS"
+echo "== regression-check count: $total_checks ($checks_reg + $checks_robust + $checks_opt + $checks_adapt + $checks_conc, >= 56), verdicts PASS"
 rm -rf "$SMOKE_CACHE"
 
 echo "== deprecated-shim gate: crates/bench must use the Chooser API, not the legacy free functions"
