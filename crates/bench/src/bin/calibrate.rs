@@ -3,6 +3,7 @@
 //! landmarks appear at the reported selectivities.
 
 use robustmap_core::{build_map1d, Grid1D, MeasureConfig};
+use robustmap_obs::progress;
 use robustmap_systems::{single_predicate_plans, SinglePredPlanSet};
 use robustmap_workload::{TableBuilder, WorkloadConfig};
 
@@ -11,16 +12,16 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1 << 20);
-    eprintln!("building workload ({rows} rows)...");
+    progress!("building workload ({rows} rows)...");
     let t0 = std::time::Instant::now();
     let w = TableBuilder::build(WorkloadConfig::with_rows(rows));
-    eprintln!("built in {:?}; heap pages = {}", t0.elapsed(), w.heap_pages());
+    progress!("built in {:?}; heap pages = {}", t0.elapsed(), w.heap_pages());
 
     let plans = single_predicate_plans(SinglePredPlanSet::Basic, &w);
     let grid = Grid1D::pow2(16);
     let t1 = std::time::Instant::now();
     let map = build_map1d(&w, &plans, &grid, &MeasureConfig::default());
-    eprintln!("swept in {:?}", t1.elapsed());
+    progress!("swept in {:?}", t1.elapsed());
 
     println!("{}", robustmap_core::render::render_map1d_table(&map, "Figure 1 calibration"));
     println!("{}", robustmap_core::report::landmark_report(&map));

@@ -4,12 +4,18 @@
 //! cargo run --release -p robustmap-bench --bin figures -- all
 //! cargo run --release -p robustmap-bench --bin figures -- fig1 fig7
 //! cargo run --release -p robustmap-bench --bin figures -- --rows 4194304 --grid 16 all
+//! cargo run --release -p robustmap-bench --bin figures -- --trace target/trace.json all
 //! ```
 //!
 //! Reports print to stdout; CSV/SVG artifacts land in `target/figures/`.
+//! Progress lines honor `ROBUSTMAP_LOG` (quiet / normal / verbose);
+//! `--trace PATH` (or `ROBUSTMAP_TRACE=PATH`) records a charge-free
+//! execution trace of the whole run and writes Chrome trace-event JSON,
+//! an operator-profile CSV, and a metrics dump next to `PATH` at exit.
 
 use robustmap_bench::baseline::{delta_summary, load_baseline};
 use robustmap_bench::{run_figure, Harness, HarnessConfig, ALL_FIGURES};
+use robustmap_obs::{progress, verbose, warn};
 
 fn main() {
     let mut config = HarnessConfig::default();
@@ -38,11 +44,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a number"));
             }
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| die("--trace needs a path"));
+                let detail = robustmap_obs::trace::detail_from_env();
+                if !robustmap_obs::trace::enable_global(std::path::Path::new(&path), detail) {
+                    warn!("--trace {path}: a trace sink is already installed; flag ignored");
+                }
+            }
             "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--rows N] [--grid EXP] [--out DIR] [--threads N] \
-                     <all | {}>",
+                     [--trace PATH] <all | {}>",
                     ALL_FIGURES.join(" | ")
                 );
                 return;
@@ -61,7 +74,7 @@ fn main() {
         }
     }
 
-    eprintln!(
+    progress!(
         "building workload: {} rows, grid 2^-{}..1, artifacts in {}",
         config.rows,
         config.grid_exp,
@@ -70,7 +83,7 @@ fn main() {
     let total = std::time::Instant::now();
     let t0 = std::time::Instant::now();
     let harness = Harness::new(config);
-    eprintln!("workload ready in {:.1?}\n", t0.elapsed());
+    progress!("workload ready in {:.1?}\n", t0.elapsed());
     // Announce the run so shared sweeps (System A map carved from the
     // all-systems map) kick in.
     harness.plan_for(&wanted);
@@ -82,9 +95,9 @@ fn main() {
                 println!("================================================================");
                 println!("{}", out.report);
                 for f in &out.files {
-                    println!("  wrote {}", f.display());
+                    verbose!("  wrote {}", f.display());
                 }
-                eprintln!("[{name}] done in {:.1}s", out.wall_seconds);
+                progress!("[{name}] done in {:.1}s ({} artifacts)", out.wall_seconds, out.files.len());
                 timings.push((out.name, out.wall_seconds));
             }
             None => unreachable!("names were validated against ALL_FIGURES"),
@@ -93,19 +106,33 @@ fn main() {
 
     // Per-figure sweep wall times: the numbers BENCH_*.json trajectories
     // track (docs/EXPERIMENTS.md records the current landmarks).
-    eprintln!("\nsweep wall time per figure:");
+    progress!("\nsweep wall time per figure:");
     for (name, secs) in &timings {
-        eprintln!("  {name:<16} {secs:>8.2}s");
+        progress!("  {name:<16} {secs:>8.2}s");
     }
-    eprintln!("  {:<16} {:>8.2}s (incl. workload)", "total", total.elapsed().as_secs_f64());
+    progress!("  {:<16} {:>8.2}s (incl. workload)", "total", total.elapsed().as_secs_f64());
     // The machine-checked trajectory: deltas against the committed
     // baseline, with WARN markers past the 20% budget (skipped with a note
     // when the run is not at the baseline's scale).
     match load_baseline() {
         Some(base) => {
-            eprint!("\n{}", delta_summary(&base, harness.config.rows, harness.config.grid_exp, &timings));
+            progress!(
+                "\n{}",
+                delta_summary(&base, harness.config.rows, harness.config.grid_exp, &timings)
+            );
         }
-        None => eprintln!("\n(no parseable wall-time baseline at crates/bench/baselines/walltime.json)"),
+        None => progress!("\n(no parseable wall-time baseline at crates/bench/baselines/walltime.json)"),
+    }
+    // Flush the process-wide trace, if one was installed (--trace or
+    // ROBUSTMAP_TRACE).
+    match robustmap_obs::trace::flush_global() {
+        Ok(Some(files)) => {
+            for f in &files {
+                progress!("wrote trace artifact {}", f.display());
+            }
+        }
+        Ok(None) => {}
+        Err(e) => warn!("could not write trace artifacts: {e}"),
     }
 }
 

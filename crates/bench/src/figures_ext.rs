@@ -21,6 +21,9 @@
 //!   observed cardinalities, with no joint statistics at compile time.
 //! * `ext_concurrency` — concurrent serving: N queries over one shared
 //!   buffer pool, concurrency level as a map axis.
+//! * `ext_trace` — charge-free execution tracing: a traced burst as a
+//!   baton timeline, a traced adaptive bail as operator spans, with
+//!   trace/report reconciliation checks.
 //! * `ext_regression` — the §4 regression benchmark, runnable as a gate.
 
 use robustmap_core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
@@ -2257,6 +2260,24 @@ pub fn ext_concurrency(h: &Harness) -> FigureOutput {
         share_sum_ok,
         format!("{hits} hits + {misses} misses attributed"),
     );
+    // Latency decomposition on the global virtual clock (arrival = burst
+    // start): queue wait, first baton, turnaround.  Under interleaving a
+    // query's turnaround exceeds its own charges by exactly the time the
+    // other in-flight queries held the baton.
+    report.push_str(&format!(
+        "\nlevel-8 latency (global virtual seconds):\n{:>28} {:>12} {:>12} {:>12} {:>12}\n",
+        "plan", "charged s", "queue wait", "first baton", "turnaround"
+    ));
+    for (j, q) in level8.queries.iter().enumerate().take(8) {
+        report.push_str(&format!(
+            "{:>28} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+            plans[j % plans.len()].name,
+            q.stats.seconds,
+            q.queue_wait,
+            q.first_baton,
+            q.turnaround,
+        ));
+    }
     let burst8: Vec<PlanSpec> = (0..specs.len()).map(|j| specs[j].clone()).collect();
     let rep_a = serve_concurrent(&w.db, &burst8, &serve_at(8));
     let rep_b = serve_concurrent(&w.db, &burst8, &serve_at(8));
@@ -2439,4 +2460,328 @@ pub fn ext_concurrency(h: &Harness) -> FigureOutput {
         ),
     ];
     FigureOutput::new("ext_concurrency", report, files)
+}
+
+/// Charge-free execution tracing: a traced concurrency-8 burst rendered
+/// as a baton timeline, and a traced adaptive bail rendered as operator
+/// spans — with the reconciliation checks that make the trace *evidence*
+/// rather than decoration.  The trace records on two clocks (simulated
+/// seconds and real nanoseconds) and must never change a charge: the
+/// bit-identity check below re-runs the forced bail untraced and compares
+/// every bit.
+pub fn ext_trace(h: &Harness) -> FigureOutput {
+    use std::sync::Arc;
+
+    use robustmap_core::regression::RegressionSuite;
+    use robustmap_core::render::{timeline_svg, TimelineMark, TimelineSpan};
+    use robustmap_core::{serve_concurrent, ServeConfig};
+    use robustmap_executor::{
+        execute_adaptive_count_batched, CheckpointKind, ExecConfig, ExecCtx, Observation,
+        SwitchController, SwitchDirective,
+    };
+    use robustmap_obs::chrome::{parse_chrome_trace, parse_json, to_chrome_json};
+    use robustmap_obs::trace::{
+        op_profile_csv, slice_totals, validate_trace, TraceDetail, TraceEventKind, TraceSink,
+    };
+    use robustmap_storage::{BufferPool, Session};
+    use robustmap_systems::{two_predicate_plans, AdmissionConfig};
+    use robustmap_workload::{TableBuilder, WorkloadConfig};
+
+    let rows = h.config.rows.min(1 << 14);
+    let w = TableBuilder::build_cached(WorkloadConfig::with_rows(rows));
+    let pool_pages = ((rows / 512) as usize).max(32);
+    let mcfg = MeasureConfig { pool_pages, ..h.config.measure.clone() };
+    let plans: Vec<robustmap_systems::TwoPredPlan> =
+        SystemId::all().into_iter().flat_map(|s| two_predicate_plans(s, &w)).collect();
+    let specs: Vec<PlanSpec> = (0..8)
+        .map(|j| plans[(j * 2) % plans.len()].build(w.cal_a.threshold(0.15), w.cal_b.threshold(0.4)))
+        .collect();
+    let rel_eq = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-300);
+
+    let mut suite = RegressionSuite::new();
+    let mut report = String::from(
+        "Extension N: charge-free execution tracing — baton timelines, operator spans, \
+         metrics\n",
+    );
+    report.push_str(&format!(
+        "{rows} rows, pool {pool_pages} pages, quantum 256 charges; trace events carry both \
+         clocks (simulated seconds + real nanoseconds since sink epoch)\n",
+    ));
+
+    // --- Panel A: a traced 8-query burst at 8 in-flight slots.  The
+    // scheduler records queueing, admission, every baton slice and each
+    // completion on the global virtual clock.
+    let sink = Arc::new(TraceSink::memory(TraceDetail::Spans));
+    let cfg8 = ServeConfig {
+        pool_pages,
+        policy: mcfg.policy,
+        model: mcfg.model.clone(),
+        quantum: 256,
+        trace: Some(Arc::clone(&sink)),
+        ..ServeConfig::default()
+    };
+    let rep = serve_concurrent(&w.db, &specs, &cfg8);
+    let events = sink.events();
+    let labels = sink.track_labels();
+    report.push_str(&format!(
+        "\nburst of 8 at 8 slots: {} trace events on {} tracks, completion order {:?}\n",
+        events.len(),
+        labels.len(),
+        rep.completion_order,
+    ));
+    report.push_str(&format!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>7}\n",
+        "query", "charged s", "queue wait", "first baton", "turnaround", "slices"
+    ));
+    let totals = slice_totals(&events);
+    let mut slices_of = vec![0usize; specs.len()];
+    for e in &events {
+        if matches!(e.kind, TraceEventKind::SliceBegin) && (e.track as usize) < specs.len() {
+            slices_of[e.track as usize] += 1;
+        }
+    }
+    for (i, q) in rep.queries.iter().enumerate() {
+        report.push_str(&format!(
+            "{i:>5} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>7}\n",
+            q.stats.seconds, q.queue_wait, q.first_baton, q.turnaround, slices_of[i],
+        ));
+    }
+    suite.check_named(
+        "traced burst: trace is well-formed (spans nest, slices alternate, clocks monotone)",
+        validate_trace(&events).is_ok(),
+        validate_trace(&events).err().unwrap_or_default(),
+    );
+    let reconciled = rep.queries.iter().enumerate().all(|(i, q)| {
+        rel_eq(totals.get(&(i as u32)).copied().unwrap_or(0.0), q.stats.seconds)
+    });
+    suite.check_named(
+        "per-query slice totals reconcile with the served queries' charged seconds",
+        reconciled,
+        format!("{} queries, {} slice tracks", rep.queries.len(), totals.len()),
+    );
+    let makespan = rep.queries.iter().map(|q| q.turnaround).fold(0.0f64, f64::max);
+    let charges: f64 = rep.queries.iter().map(|q| q.stats.seconds).sum();
+    suite.check_named(
+        "makespan conservation: last turnaround equals the sum of every query's charges",
+        rel_eq(makespan, charges),
+        format!("{makespan:.6}s vs {charges:.6}s"),
+    );
+
+    // Chrome export: the artifact browsers load must parse back, with
+    // every span's B matched by an E.
+    let json = to_chrome_json(&events, &labels);
+    let chrome_ok = parse_json(&json).is_ok()
+        && parse_chrome_trace(&json).is_ok_and(|evs| {
+            let b = evs.iter().filter(|e| e.ph == "B").count();
+            let e = evs.iter().filter(|e| e.ph == "E").count();
+            let pids: std::collections::BTreeSet<u64> =
+                evs.iter().map(|ev| ev.pid).collect();
+            b == e && b > 0 && pids.len() == 2
+        });
+    suite.check_named(
+        "Chrome export round-trips: JSON parses, B/E spans balance, two clock domains",
+        chrome_ok,
+        format!("{} bytes", json.len()),
+    );
+
+    // Queue wait becomes visible when admission is the bottleneck.
+    let cfg2 = ServeConfig {
+        admission: AdmissionConfig { max_in_flight: 2, ..AdmissionConfig::default() },
+        trace: None,
+        ..cfg8.clone()
+    };
+    let rep2 = serve_concurrent(&w.db, &specs, &cfg2);
+    let waits: Vec<f64> = rep2.queries.iter().map(|q| q.queue_wait).collect();
+    suite.check_named(
+        "two admission slots make queue wait visible in global virtual time",
+        waits[0] == 0.0
+            && waits[1] == 0.0
+            && waits[2..].iter().all(|&qw| qw > 0.0)
+            && rep2.queries.iter().all(|q| q.turnaround >= q.first_baton
+                && q.first_baton >= q.queue_wait),
+        format!("waits {:?}", waits.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>()),
+    );
+    report.push_str(&format!(
+        "at 2 slots the queue becomes visible: waits {:?}\n",
+        waits.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>(),
+    ));
+
+    // The baton timeline: one lane per query (plus the scheduler), slices
+    // as bars on the global virtual clock, admissions and completions as
+    // diamonds.
+    let mut spans = Vec::new();
+    let mut marks = Vec::new();
+    let mut open = vec![f64::NAN; labels.len()];
+    let mut slice_no = vec![0usize; labels.len()];
+    for e in &events {
+        let t = e.track as usize;
+        match &e.kind {
+            TraceEventKind::SliceBegin => open[t] = e.sim,
+            TraceEventKind::SliceEnd => {
+                slice_no[t] += 1;
+                spans.push(TimelineSpan {
+                    track: t,
+                    start: open[t],
+                    end: e.sim,
+                    color: t,
+                    label: format!("slice {}: {:.5}s", slice_no[t], e.sim - open[t]),
+                });
+            }
+            TraceEventKind::Admit { grant } => marks.push(TimelineMark {
+                track: t,
+                at: e.sim,
+                label: format!("admitted, grant {grant}"),
+            }),
+            TraceEventKind::QueryDone { rows } => marks.push(TimelineMark {
+                track: t,
+                at: e.sim,
+                label: format!("done, {rows} rows"),
+            }),
+            _ => {}
+        }
+    }
+    let timeline = timeline_svg(
+        &labels,
+        &spans,
+        &marks,
+        "Baton timeline: 8 queries, 8 slots, quantum 256 charges",
+        "global virtual seconds",
+    );
+
+    // --- Panel B: a traced adaptive bail.  The controller is forced: it
+    // bails at the first rid-feed checkpoint to a full table scan, so the
+    // trace must show the checkpoint cascade, exactly one switch event,
+    // and the abandoned operator's span closing on the error path.
+    struct BailAtRidFeed {
+        alt: PlanSpec,
+    }
+    impl SwitchController for BailAtRidFeed {
+        fn decide(&self, obs: &Observation) -> SwitchDirective {
+            if matches!(obs.kind, CheckpointKind::RidFeed) {
+                SwitchDirective::Bail(self.alt.clone())
+            } else {
+                SwitchDirective::Continue
+            }
+        }
+    }
+    let victim = PlanSpec::IndexFetch {
+        scan: IndexRangeSpec {
+            index: w.indexes.a,
+            range: KeyRange::on_leading(i64::MIN, w.cal_a.threshold(0.25), 1),
+        },
+        key_filter: Predicate::always_true(),
+        fetch: FetchKind::Traditional,
+        residual: Predicate::single(ColRange::at_most(COL_B, w.cal_b.threshold(1.0))),
+        project: Projection::All,
+    };
+    let ctrl = BailAtRidFeed {
+        alt: PlanSpec::TableScan {
+            table: w.table,
+            pred: Predicate::single(ColRange::at_most(COL_B, w.cal_b.threshold(1.0))),
+            project: Projection::All,
+        },
+    };
+    let ec = ExecConfig::from_env();
+    let run_bail = |sink: Option<&Arc<TraceSink>>| {
+        let s = Session::new(mcfg.model.clone(), BufferPool::new(pool_pages, mcfg.policy));
+        if let Some(sk) = sink {
+            s.attach_tracer(Arc::clone(sk), "q0: forced bail");
+        }
+        let ctx = ExecCtx::new(&w.db, &s, mcfg.memory_bytes);
+        execute_adaptive_count_batched(&victim, &ctx, &ec, &ctrl).expect("well-formed plan")
+    };
+    let plain = run_bail(None);
+    let bail_sink = Arc::new(TraceSink::memory(TraceDetail::Spans));
+    let traced = run_bail(Some(&bail_sink));
+    let bail_events = bail_sink.events();
+    let bail_labels = bail_sink.track_labels();
+    report.push_str(&format!(
+        "\nforced bail: {} -> {:?} in {:.6}s, {} trace events\n",
+        victim.synopsis(),
+        traced.switches.iter().map(|s| s.action.as_str()).collect::<Vec<_>>(),
+        traced.exec.seconds,
+        bail_events.len(),
+    ));
+    suite.check_named(
+        "tracing is charge-free: the traced forced bail is bit-identical to the untraced run",
+        plain.exec.seconds.to_bits() == traced.exec.seconds.to_bits()
+            && plain.exec.io == traced.exec.io
+            && plain.switches == traced.switches,
+        format!("{:.6}s both ways", plain.exec.seconds),
+    );
+    let checkpoints =
+        bail_events.iter().filter(|e| matches!(e.kind, TraceEventKind::Checkpoint { .. })).count();
+    let switches =
+        bail_events.iter().filter(|e| matches!(e.kind, TraceEventKind::Switch { .. })).count();
+    suite.check_named(
+        "the bail trace shows the checkpoint cascade, exactly one switch, and balanced spans",
+        checkpoints >= 1 && switches == 1 && validate_trace(&bail_events).is_ok(),
+        format!("{checkpoints} checkpoints, {switches} switches"),
+    );
+
+    // Operator spans of the bail, one lane per operator instance in
+    // encounter order, checkpoint/switch marks on a final lane.
+    let mut op_lanes: Vec<String> = Vec::new();
+    let mut op_spans = Vec::new();
+    let mut op_open: Vec<Vec<(usize, f64)>> = vec![Vec::new(); bail_labels.len()];
+    let mut op_marks = Vec::new();
+    for e in &bail_events {
+        match &e.kind {
+            TraceEventKind::OpBegin { name, depth } => {
+                let lane = op_lanes.len();
+                op_lanes.push(format!("d{depth} {name}"));
+                op_open[e.track as usize].push((lane, e.sim));
+            }
+            TraceEventKind::OpEnd { rows, depth, .. } => {
+                let (lane, start) = op_open[e.track as usize].pop().expect("balanced spans");
+                op_spans.push(TimelineSpan {
+                    track: lane,
+                    start,
+                    end: e.sim,
+                    color: *depth as usize,
+                    label: format!("{}: {rows} rows, {:.5}s", op_lanes[lane], e.sim - start),
+                });
+            }
+            TraceEventKind::Checkpoint { kind, rows } => op_marks.push((e.sim, format!(
+                "checkpoint {kind}: {rows} rows"
+            ))),
+            TraceEventKind::Switch { at, observed, action } => op_marks.push((e.sim, format!(
+                "{at}: observed {observed} -> {action}"
+            ))),
+            _ => {}
+        }
+    }
+    let mark_lane = op_lanes.len();
+    op_lanes.push("checkpoints".to_string());
+    let op_marks: Vec<TimelineMark> = op_marks
+        .into_iter()
+        .map(|(at, label)| TimelineMark { track: mark_lane, at, label })
+        .collect();
+    let adaptive_svg = timeline_svg(
+        &op_lanes,
+        &op_spans,
+        &op_marks,
+        "Operator spans of a forced adaptive bail (rid feed -> table scan)",
+        "simulated seconds",
+    );
+
+    report.push_str("\nregression checks over the tracing layer:\n");
+    let checks = format!(
+        "{}verdict: {}\n",
+        suite.report(),
+        if suite.passed() { "PASS" } else { "FAIL" }
+    );
+    report.push_str(&checks);
+
+    let mut metrics = sink.metrics();
+    metrics.merge(&bail_sink.metrics());
+    let files = vec![
+        h.write_artifact("ext_trace.json", &json),
+        h.write_artifact("ext_trace_timeline.svg", &timeline),
+        h.write_artifact("ext_trace_adaptive.svg", &adaptive_svg),
+        h.write_artifact("ext_trace_ops.csv", &op_profile_csv(&bail_events, &bail_labels)),
+        h.write_artifact("ext_trace_metrics.txt", &metrics.dump()),
+        h.write_artifact("ext_trace_checks.txt", &checks),
+    ];
+    FigureOutput::new("ext_trace", report, files)
 }

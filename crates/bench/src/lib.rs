@@ -47,6 +47,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_robust_choice",
     "ext_adaptive",
     "ext_concurrency",
+    "ext_trace",
     "ext_regression",
 ];
 
@@ -85,6 +86,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_robust_choice" => figures_ext::ext_robust_choice(h),
         "ext_adaptive" => figures_ext::ext_adaptive(h),
         "ext_concurrency" => figures_ext::ext_concurrency(h),
+        "ext_trace" => figures_ext::ext_trace(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

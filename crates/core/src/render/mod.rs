@@ -15,4 +15,4 @@ pub mod svg;
 pub use ascii::{render_map1d_table, render_map2d_ansi, AsciiOptions};
 pub use color::{absolute_scale, relative_scale, Color, ColorScale};
 pub use csv::{map1d_to_csv, map2d_to_csv, quotients_to_csv, sanitize};
-pub use svg::{heatmap_svg, line_plot_svg};
+pub use svg::{heatmap_svg, line_plot_svg, timeline_svg, TimelineMark, TimelineSpan};

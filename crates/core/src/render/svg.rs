@@ -207,6 +207,135 @@ pub fn line_plot_svg(map: &Map1D, title: &str, y_label: &str) -> String {
     svg
 }
 
+/// One horizontal bar on a [`timeline_svg`] lane: `[start, end]` on the
+/// shared x axis (usually global virtual seconds).
+#[derive(Debug, Clone)]
+pub struct TimelineSpan {
+    /// Lane index (row), indexed into the `tracks` labels.
+    pub track: usize,
+    /// Span start on the x axis.
+    pub start: f64,
+    /// Span end on the x axis.
+    pub end: f64,
+    /// Color index into the series palette.
+    pub color: usize,
+    /// Tooltip text.
+    pub label: String,
+}
+
+/// A point marker on a [`timeline_svg`] lane (checkpoints, bails,
+/// admissions, completions).
+#[derive(Debug, Clone)]
+pub struct TimelineMark {
+    /// Lane index (row).
+    pub track: usize,
+    /// Position on the x axis.
+    pub at: f64,
+    /// Tooltip text.
+    pub label: String,
+}
+
+/// Render a multi-lane execution timeline: one horizontal lane per
+/// track, spans as bars, marks as diamonds.  This is the Gantt view of
+/// the concurrent scheduler's baton slices (and of traced operator
+/// spans), with a linear x axis in `x_label` units.
+pub fn timeline_svg(
+    tracks: &[String],
+    spans: &[TimelineSpan],
+    marks: &[TimelineMark],
+    title: &str,
+    x_label: &str,
+) -> String {
+    const LANE: f64 = 26.0;
+    const BAR: f64 = 16.0;
+    let (ml, mr, mt, mb) = (190.0, 30.0, 48.0, 46.0);
+    let plot_w = 720.0;
+    let n = tracks.len().max(1);
+    let w = ml + plot_w + mr;
+    let h = mt + n as f64 * LANE + mb;
+    let xmax = spans
+        .iter()
+        .map(|s| s.end)
+        .chain(marks.iter().map(|m| m.at))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let x_of = |v: f64| ml + (v / xmax) * plot_w;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"14\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        esc(title)
+    ));
+    // Lanes: label + faint baseline.
+    for (t, label) in tracks.iter().enumerate() {
+        let y = mt + t as f64 * LANE;
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            ml - 8.0,
+            y + LANE / 2.0 + 4.0,
+            esc(label)
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#eee\"/>\n",
+            y + LANE / 2.0,
+            ml + plot_w,
+            y + LANE / 2.0
+        ));
+    }
+    // Quarter grid lines with captions.
+    for i in 0..=4 {
+        let v = xmax * i as f64 / 4.0;
+        let x = x_of(v);
+        svg.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{mt}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>\n",
+            mt + n as f64 * LANE
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{v:.3}</text>\n",
+            mt + n as f64 * LANE + 16.0
+        ));
+    }
+    // Spans as bars.
+    for s in spans {
+        let y = mt + s.track as f64 * LANE + (LANE - BAR) / 2.0;
+        let x0 = x_of(s.start);
+        let x1 = x_of(s.end);
+        let color = SERIES_COLORS[s.color % SERIES_COLORS.len()];
+        svg.push_str(&format!(
+            "<rect x=\"{x0:.2}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{BAR:.1}\" \
+             fill=\"{color}\" fill-opacity=\"0.8\"><title>{}</title></rect>\n",
+            (x1 - x0).max(0.75),
+            esc(&s.label)
+        ));
+    }
+    // Marks as diamonds.
+    for m in marks {
+        let x = x_of(m.at);
+        let y = mt + m.track as f64 * LANE + LANE / 2.0;
+        svg.push_str(&format!(
+            "<path d=\"M {x:.2} {:.1} L {:.2} {y:.1} L {x:.2} {:.1} L {:.2} {y:.1} Z\" \
+             fill=\"#222\"><title>{}</title></path>\n",
+            y - 6.0,
+            x + 4.0,
+            y + 6.0,
+            x - 4.0,
+            esc(&m.label)
+        ));
+    }
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+        ml + plot_w / 2.0 - 60.0,
+        h - 10.0,
+        esc(x_label)
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +381,25 @@ mod tests {
         assert!(svg.contains("p1"));
         assert!(svg.contains("p2"));
         assert!(svg.contains("result rows"));
+    }
+
+    #[test]
+    fn timeline_svg_renders_lanes_spans_and_marks() {
+        let tracks = vec!["scheduler".to_string(), "q0: scan".to_string()];
+        let spans = vec![
+            TimelineSpan { track: 1, start: 0.0, end: 2.5, color: 1, label: "slice 1".into() },
+            TimelineSpan { track: 1, start: 3.0, end: 4.0, color: 1, label: "slice 2".into() },
+        ];
+        let marks = vec![TimelineMark { track: 0, at: 4.0, label: "done & dusted".into() }];
+        let svg = timeline_svg(&tracks, &spans, &marks, "Baton timeline", "global sim seconds");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert!(svg.contains("q0: scan"));
+        assert!(svg.contains("done &amp; dusted"));
+        assert!(svg.contains("global sim seconds"));
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
     }
 
     #[test]

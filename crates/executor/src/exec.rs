@@ -8,6 +8,7 @@
 
 use std::cell::{Cell, RefCell};
 
+use robustmap_obs::trace::TraceEventKind;
 use robustmap_storage::{AccessKind, Database, FileId, IoStats, Row, Session, StorageError};
 
 use crate::batch::{BatchEmitter, ExecConfig, RowBatch};
@@ -243,7 +244,36 @@ pub(crate) fn execute_node(
     depth: usize,
     sink: &mut dyn FnMut(&Row),
 ) -> Result<u64, ExecError> {
+    // Charge-free operator span: tracing reads the clock, never advances
+    // it.  The end event is emitted on the error path too (rows = 0), so
+    // an adaptive bail's unwind leaves every span closed.
+    let traced = ctx.session.is_traced();
+    if traced {
+        ctx.session.flush_io_window();
+        ctx.session
+            .trace_event(TraceEventKind::OpBegin { name: plan.synopsis(), depth: depth as u32 });
+    }
     let t0 = ctx.session.elapsed();
+    let result = execute_node_inner(plan, ctx, depth, sink);
+    if traced {
+        ctx.session.flush_io_window();
+        ctx.session.trace_event(TraceEventKind::OpEnd {
+            name: plan.synopsis(),
+            depth: depth as u32,
+            rows: *result.as_ref().unwrap_or(&0),
+        });
+    }
+    let rows = result?;
+    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
+    Ok(rows)
+}
+
+fn execute_node_inner(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    depth: usize,
+    sink: &mut dyn FnMut(&Row),
+) -> Result<u64, ExecError> {
     let rows = match plan {
         PlanSpec::TableScan { table, pred, project } => {
             ops::table_scan::run(ctx.db.table(*table), pred, project, ctx.session, sink)
@@ -366,7 +396,6 @@ pub(crate) fn execute_node(
             agg.finish(sink)
         }
     };
-    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
     Ok(rows)
 }
 
@@ -450,7 +479,35 @@ pub(crate) fn execute_node_batched(
     depth: usize,
     sink: &mut dyn FnMut(&RowBatch),
 ) -> Result<u64, ExecError> {
+    // Same charge-free span protocol as [`execute_node`].
+    let traced = ctx.session.is_traced();
+    if traced {
+        ctx.session.flush_io_window();
+        ctx.session
+            .trace_event(TraceEventKind::OpBegin { name: plan.synopsis(), depth: depth as u32 });
+    }
     let t0 = ctx.session.elapsed();
+    let result = execute_node_batched_inner(plan, ctx, cfg, depth, sink);
+    if traced {
+        ctx.session.flush_io_window();
+        ctx.session.trace_event(TraceEventKind::OpEnd {
+            name: plan.synopsis(),
+            depth: depth as u32,
+            rows: *result.as_ref().unwrap_or(&0),
+        });
+    }
+    let rows = result?;
+    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
+    Ok(rows)
+}
+
+fn execute_node_batched_inner(
+    plan: &PlanSpec,
+    ctx: &ExecCtx<'_>,
+    cfg: &ExecConfig,
+    depth: usize,
+    sink: &mut dyn FnMut(&RowBatch),
+) -> Result<u64, ExecError> {
     let rows = match plan {
         PlanSpec::TableScan { table, pred, project } => {
             ops::table_scan::run_batched(ctx.db.table(*table), pred, project, cfg, ctx.session, sink)
@@ -608,7 +665,6 @@ pub(crate) fn execute_node_batched(
             produced
         }
     };
-    ctx.record_op(plan.synopsis(), depth, rows, ctx.session.elapsed() - t0);
     Ok(rows)
 }
 

@@ -49,6 +49,7 @@ use crate::exec::{
 };
 use crate::ops;
 use crate::ops::sort::PackedRows;
+use robustmap_obs::trace::TraceEventKind;
 use crate::plan::{algo_name, fetch_name, CheckpointKind, FetchKind, IntersectAlgo, JoinAlgo,
     PlanSpec};
 
@@ -244,15 +245,44 @@ pub fn execute_adaptive_collect_batched(
     Ok((stats, rows))
 }
 
+/// Stable name of a checkpoint for trace events.
+fn checkpoint_name(kind: CheckpointKind) -> &'static str {
+    match kind {
+        CheckpointKind::RidFeed => "rid_feed",
+        CheckpointKind::IntersectFeed { .. } => "intersect_feed",
+        CheckpointKind::IntersectOut => "intersect_out",
+        CheckpointKind::JoinBuild => "join_build",
+        CheckpointKind::JoinProbe => "join_probe",
+        CheckpointKind::SortInput => "sort_input",
+        CheckpointKind::AggInput => "agg_input",
+        CheckpointKind::ScanOut => "scan_out",
+    }
+}
+
 /// Report one observation and record the directive if it is acted upon.
+/// When the session is traced, every checkpoint emits a (charge-free)
+/// instant event, and an acted-upon directive emits a switch event — the
+/// timeline shows exactly when the cascade fired and when it bailed.
 fn observe(
+    ctx: &ExecCtx<'_>,
     ctrl: &dyn SwitchController,
     events: &RefCell<Vec<SwitchEvent>>,
     kind: CheckpointKind,
     rows: u64,
 ) -> SwitchDirective {
+    if ctx.session.is_traced() {
+        ctx.session
+            .trace_event(TraceEventKind::Checkpoint { kind: checkpoint_name(kind), rows });
+    }
     let d = ctrl.decide(&Observation { kind, rows });
     if !matches!(d, SwitchDirective::Continue) {
+        if ctx.session.is_traced() {
+            ctx.session.trace_event(TraceEventKind::Switch {
+                at: checkpoint_name(kind),
+                observed: rows,
+                action: d.describe(),
+            });
+        }
         events.borrow_mut().push(SwitchEvent { at: kind, observed: rows, action: d.describe() });
     }
     d
@@ -328,7 +358,7 @@ fn node(
                 let n = held.len() as u64;
                 if n.is_power_of_two() {
                     if let SwitchDirective::Bail(a) =
-                        observe(ctrl, events, CheckpointKind::ScanOut, n)
+                        observe(ctx, ctrl, events, CheckpointKind::ScanOut, n)
                     {
                         alt = Some(a);
                         return false;
@@ -358,7 +388,7 @@ fn node(
                 AccessKind::Sequential,
             );
             let mut fetch_eff = *fetch;
-            match observe(ctrl, events, CheckpointKind::RidFeed, rids.len() as u64) {
+            match observe(ctx, ctrl, events, CheckpointKind::RidFeed, rids.len() as u64) {
                 SwitchDirective::SwitchFetch(f) => fetch_eff = f,
                 SwitchDirective::Bail(alt) => {
                     drop(rids);
@@ -380,6 +410,7 @@ fn node(
             let lrids =
                 ops::index_scan::collect_rids(li, &left.range, ctx.session, AccessKind::Sequential);
             if let SwitchDirective::Bail(alt) = observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: false },
@@ -392,6 +423,7 @@ fn node(
                 ops::index_scan::collect_rids(ri, &right.range, ctx.session, AccessKind::Sequential);
             let mut algo_eff = *algo;
             match observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: true },
@@ -406,7 +438,7 @@ fn node(
             }
             let surviving = ops::rid_join::intersect_rids(lrids, rrids, algo_eff, ctx);
             let mut fetch_eff = *fetch;
-            match observe(ctrl, events, CheckpointKind::IntersectOut, surviving.len() as u64) {
+            match observe(ctx, ctrl, events, CheckpointKind::IntersectOut, surviving.len() as u64) {
                 SwitchDirective::SwitchFetch(f) => fetch_eff = f,
                 SwitchDirective::Bail(alt) => {
                     drop(surviving);
@@ -426,6 +458,7 @@ fn node(
             let lentries =
                 ops::index_scan::collect_entries(li, &left.range, ctx.session, AccessKind::Sequential);
             if let SwitchDirective::Bail(alt) = observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: false },
@@ -438,6 +471,7 @@ fn node(
                 ops::index_scan::collect_entries(ri, &right.range, ctx.session, AccessKind::Sequential);
             let mut algo_eff = *algo;
             match observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: true },
@@ -470,14 +504,14 @@ fn node(
             };
             let mut lrows = PackedRows::default();
             node(left, ctx, ctrl, events, depth + 1, &mut |r| lrows.push(r.values()))?;
-            if let SwitchDirective::Bail(alt) = observe(ctrl, events, first, lrows.len() as u64) {
+            if let SwitchDirective::Bail(alt) = observe(ctx, ctrl, events, first, lrows.len() as u64) {
                 drop(lrows);
                 return bail(plan, &alt, ctx, depth, t0, sink);
             }
             let mut rrows = PackedRows::default();
             node(right, ctx, ctrl, events, depth + 1, &mut |r| rrows.push(r.values()))?;
             let mut algo_eff = *algo;
-            match observe(ctrl, events, second, rrows.len() as u64) {
+            match observe(ctx, ctrl, events, second, rrows.len() as u64) {
                 SwitchDirective::SwitchJoin(a) => algo_eff = a,
                 SwitchDirective::Bail(alt) => {
                     drop((lrows, rrows));
@@ -584,7 +618,7 @@ fn node_batched(
                 let n = held.len() as u64;
                 if n.is_power_of_two() {
                     if let SwitchDirective::Bail(a) =
-                        observe(ctrl, events, CheckpointKind::ScanOut, n)
+                        observe(ctx, ctrl, events, CheckpointKind::ScanOut, n)
                     {
                         alt = Some(a);
                         return false;
@@ -614,7 +648,7 @@ fn node_batched(
                 AccessKind::Sequential,
             );
             let mut fetch_eff = *fetch;
-            match observe(ctrl, events, CheckpointKind::RidFeed, rids.len() as u64) {
+            match observe(ctx, ctrl, events, CheckpointKind::RidFeed, rids.len() as u64) {
                 SwitchDirective::SwitchFetch(f) => fetch_eff = f,
                 SwitchDirective::Bail(alt) => {
                     drop(rids);
@@ -636,6 +670,7 @@ fn node_batched(
             let lrids =
                 ops::index_scan::collect_rids(li, &left.range, ctx.session, AccessKind::Sequential);
             if let SwitchDirective::Bail(alt) = observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: false },
@@ -648,6 +683,7 @@ fn node_batched(
                 ops::index_scan::collect_rids(ri, &right.range, ctx.session, AccessKind::Sequential);
             let mut algo_eff = *algo;
             match observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: true },
@@ -662,7 +698,7 @@ fn node_batched(
             }
             let surviving = ops::rid_join::intersect_rids(lrids, rrids, algo_eff, ctx);
             let mut fetch_eff = *fetch;
-            match observe(ctrl, events, CheckpointKind::IntersectOut, surviving.len() as u64) {
+            match observe(ctx, ctrl, events, CheckpointKind::IntersectOut, surviving.len() as u64) {
                 SwitchDirective::SwitchFetch(f) => fetch_eff = f,
                 SwitchDirective::Bail(alt) => {
                     drop(surviving);
@@ -682,6 +718,7 @@ fn node_batched(
             let lentries =
                 ops::index_scan::collect_entries(li, &left.range, ctx.session, AccessKind::Sequential);
             if let SwitchDirective::Bail(alt) = observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: false },
@@ -694,6 +731,7 @@ fn node_batched(
                 ops::index_scan::collect_entries(ri, &right.range, ctx.session, AccessKind::Sequential);
             let mut algo_eff = *algo;
             match observe(
+                ctx,
                 ctrl,
                 events,
                 CheckpointKind::IntersectFeed { right: true },
@@ -730,7 +768,7 @@ fn node_batched(
                     lrows.push(b.row(i).values());
                 }
             })?;
-            if let SwitchDirective::Bail(alt) = observe(ctrl, events, first, lrows.len() as u64) {
+            if let SwitchDirective::Bail(alt) = observe(ctx, ctrl, events, first, lrows.len() as u64) {
                 drop(lrows);
                 return bail_batched(plan, &alt, ctx, cfg, depth, t0, sink);
             }
@@ -741,7 +779,7 @@ fn node_batched(
                 }
             })?;
             let mut algo_eff = *algo;
-            match observe(ctrl, events, second, rrows.len() as u64) {
+            match observe(ctx, ctrl, events, second, rrows.len() as u64) {
                 SwitchDirective::SwitchJoin(a) => algo_eff = a,
                 SwitchDirective::Bail(alt) => {
                     drop((lrows, rrows));

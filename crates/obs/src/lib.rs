@@ -1,0 +1,34 @@
+//! # robustmap-obs
+//!
+//! Charge-free observability for the robustmap workspace.
+//!
+//! Everything in this crate observes execution without participating in
+//! it: attaching a tracer, bumping a counter or raising the log level
+//! must never change a single simulated charge.  The differential
+//! equivalence suites (`adaptive_equivalence`, `batch_equivalence`,
+//! `concurrent_equivalence`) re-run with tracing enabled to prove it.
+//!
+//! Three facilities:
+//!
+//! * [`trace`] — a [`trace::TraceSink`] recording timestamped
+//!   [`trace::TraceEvent`]s on **two clocks** (simulated seconds and
+//!   real nanoseconds), with Chrome trace-event export via [`chrome`];
+//! * [`metrics`] — a deterministic [`metrics::MetricsRegistry`] of
+//!   counters and log-scale histograms, filled as events are emitted;
+//! * [`log`] — a leveled stderr facade ([`progress!`], [`verbose!`],
+//!   [`warn!`]) honoring `ROBUSTMAP_LOG` (quiet / normal / verbose).
+//!
+//! This crate is a leaf: it depends on `std` only, so every workspace
+//! layer (storage, executor, core, bench) can use it without cycles.
+
+pub mod chrome;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::{log_level, set_log_level, LogLevel, ENV_LOG};
+pub use metrics::{LogHistogram, MetricsRegistry};
+pub use trace::{
+    validate_trace, ClockDomain, TraceDetail, TraceEvent, TraceEventKind, TraceHandle, TraceSink,
+    ENV_TRACE, ENV_TRACE_DETAIL,
+};

@@ -1,0 +1,137 @@
+//! Leveled stderr logging for the binaries and the harness.
+//!
+//! Three levels, selected by the `ROBUSTMAP_LOG` environment variable
+//! (`quiet`, `normal` — the default — or `verbose`) or programmatically
+//! via [`set_log_level`]:
+//!
+//! * [`warn!`](crate::warn) always prints — a warning signals a
+//!   malfunction and must surface even in quiet CI runs;
+//! * [`progress!`](crate::progress) prints at `normal` and above — the
+//!   per-figure progress lines the figures binary used to `eprintln!`;
+//! * [`verbose!`](crate::verbose) prints only at `verbose` — cache
+//!   paths, per-level timings, anything a debugging session wants but
+//!   CI does not.
+//!
+//! The level is read once and cached in an atomic; the disabled path is
+//! a single relaxed load, so log calls are safe in moderately hot code.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the log level (`quiet` / `normal` /
+/// `verbose`; `0`/`1`/`2` also accepted).
+pub const ENV_LOG: &str = "ROBUSTMAP_LOG";
+
+/// Verbosity of the stderr log facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Only warnings.
+    Quiet = 0,
+    /// Progress lines and warnings (the default).
+    Normal = 1,
+    /// Everything, including per-step detail.
+    Verbose = 2,
+}
+
+/// Cached level; `UNSET` means "not yet read from the environment".
+const UNSET: u8 = 0xff;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse_level(s: &str) -> Option<LogLevel> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "quiet" | "0" => Some(LogLevel::Quiet),
+        "normal" | "1" | "" => Some(LogLevel::Normal),
+        "verbose" | "2" => Some(LogLevel::Verbose),
+        _ => None,
+    }
+}
+
+/// The active log level: the cached value, or `ROBUSTMAP_LOG` on first
+/// call (unparsable values fall back to [`LogLevel::Normal`]).
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let level = std::env::var(ENV_LOG)
+                .ok()
+                .and_then(|v| parse_level(&v))
+                .unwrap_or(LogLevel::Normal);
+            LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        1 => LogLevel::Normal,
+        2 => LogLevel::Verbose,
+        _ => LogLevel::Quiet,
+    }
+}
+
+/// Override the log level (command-line flags beat the environment;
+/// tests use this to exercise both sides of the gate).
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when a message at `min` should print.
+pub fn enabled(min: LogLevel) -> bool {
+    log_level() >= min
+}
+
+#[doc(hidden)]
+pub fn __print(args: std::fmt::Arguments<'_>) {
+    eprintln!("{args}");
+}
+
+/// Print a progress line (normal verbosity and above).
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Normal) {
+            $crate::log::__print(format_args!($($arg)*));
+        }
+    };
+}
+
+/// Print a detail line (verbose only).
+#[macro_export]
+macro_rules! verbose {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::LogLevel::Verbose) {
+            $crate::log::__print(format_args!($($arg)*));
+        }
+    };
+}
+
+/// Print a warning (all levels, `warning:` prefix).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::__print(format_args!("warning: {}", format_args!($($arg)*)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(parse_level("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(parse_level("NORMAL"), Some(LogLevel::Normal));
+        assert_eq!(parse_level("2"), Some(LogLevel::Verbose));
+        assert_eq!(parse_level("nonsense"), None);
+        assert!(LogLevel::Verbose > LogLevel::Normal);
+        assert!(LogLevel::Normal > LogLevel::Quiet);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        set_log_level(LogLevel::Quiet);
+        assert!(!enabled(LogLevel::Normal));
+        assert!(enabled(LogLevel::Quiet));
+        set_log_level(LogLevel::Verbose);
+        assert!(enabled(LogLevel::Verbose));
+        // Restore the default so other tests in this process see the
+        // usual level.
+        set_log_level(LogLevel::Normal);
+        assert!(enabled(LogLevel::Normal));
+        assert!(!enabled(LogLevel::Verbose));
+    }
+}

@@ -33,13 +33,17 @@
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
+use robustmap_obs::trace::{TraceDetail, TraceEventKind, TraceHandle, TraceSink};
+
 use crate::buffer::{BufferPool, EvictionPolicy, FileId, PageId};
 use crate::shared::{QueryId, QueryShare, SharedBufferPool};
 use crate::sim::{AccessKind, CostModel, IoStats, SimClock};
 
 /// A cooperative-scheduling callback: invoked between charges, never
-/// charging work itself.
-pub type YieldHook = Box<dyn FnMut() + Send>;
+/// charging work itself.  The argument is the session's elapsed
+/// simulated seconds at the yield point, so schedulers can advance a
+/// global virtual clock without re-entering the session.
+pub type YieldHook = Box<dyn FnMut(f64) + Send>;
 
 /// Execution context charging all storage traffic to a simulated clock.
 pub struct Session {
@@ -53,6 +57,15 @@ pub struct Session {
     yield_every: Cell<u64>,
     ticks: Cell<u64>,
     yielder: RefCell<Option<YieldHook>>,
+    /// Charge-free tracing: the handle, a cached "am I traced" flag so
+    /// the disabled path costs one `Cell` read per charge, a cached
+    /// full-detail flag, and the pending per-quantum I/O window.
+    tracer: RefCell<Option<TraceHandle>>,
+    traced: Cell<bool>,
+    trace_full: Cell<bool>,
+    win_reads: Cell<u64>,
+    win_hits: Cell<u64>,
+    win_writes: Cell<u64>,
 }
 
 impl Session {
@@ -69,9 +82,13 @@ impl Session {
 
     /// Session registered as a new query on an existing shared pool: the
     /// per-query context of the concurrent serving layer.
+    ///
+    /// When the process-wide trace (`ROBUSTMAP_TRACE` or the figures
+    /// binary's `--trace` flag) is enabled, the session attaches to it
+    /// automatically on a fresh track labelled by its query id.
     pub fn on_shared(model: CostModel, pool: Arc<SharedBufferPool>) -> Self {
         let query = pool.register_query();
-        Session {
+        let s = Session {
             model,
             clock: SimClock::new(),
             pool,
@@ -80,7 +97,17 @@ impl Session {
             yield_every: Cell::new(0),
             ticks: Cell::new(0),
             yielder: RefCell::new(None),
+            tracer: RefCell::new(None),
+            traced: Cell::new(false),
+            trace_full: Cell::new(false),
+            win_reads: Cell::new(0),
+            win_hits: Cell::new(0),
+            win_writes: Cell::new(0),
+        };
+        if let Some(sink) = robustmap_obs::trace::global_sink() {
+            s.attach_tracer(sink, &format!("q{}", s.query.0));
         }
+        s
     }
 
     /// The cost model in effect.
@@ -108,7 +135,13 @@ impl Session {
     /// it cell by cell.  Note that the reset reaches the *whole* underlying
     /// pool: on a genuinely shared pool, only the serving layer may reset,
     /// and only while no query is in flight.
+    /// Tracing note: a reset flushes the pending I/O window and emits a
+    /// [`TraceEventKind::SessionReset`] marker (the track's query clock
+    /// restarts from zero), so per-query trace state never leaks across
+    /// reuse.
     pub fn reset(&self) {
+        self.flush_io_window();
+        self.trace_event(TraceEventKind::SessionReset);
         self.clock.reset();
         self.pool.reset();
         self.ticks.set(0);
@@ -133,10 +166,21 @@ impl Session {
     /// hit cost, a miss charges the disk cost for `kind`.
     #[inline]
     pub fn read_page(&self, page: PageId, kind: AccessKind) {
-        if self.pool.access(self.query, page) {
+        let hit = self.pool.access(self.query, page);
+        if hit {
             self.clock.charge_buffer_hit(&self.model);
         } else {
             self.clock.charge_read(&self.model, kind);
+        }
+        if self.traced.get() {
+            if hit {
+                self.win_hits.set(self.win_hits.get() + 1);
+            } else {
+                self.win_reads.set(self.win_reads.get() + 1);
+            }
+            if self.trace_full.get() {
+                self.trace_event(TraceEventKind::PageRead { hit });
+            }
         }
         self.tick();
     }
@@ -146,6 +190,12 @@ impl Session {
     pub fn write_page(&self, page: PageId) {
         self.clock.charge_write(&self.model);
         self.pool.access(self.query, page);
+        if self.traced.get() {
+            self.win_writes.set(self.win_writes.get() + 1);
+            if self.trace_full.get() {
+                self.trace_event(TraceEventKind::PageWrite);
+            }
+        }
         self.tick();
     }
 
@@ -159,7 +209,11 @@ impl Session {
     /// concurrent spills can never collide (and a private session numbers
     /// its temp files exactly as before the split: `base + 0, 1, ...`).
     pub fn alloc_temp_file(&self, base: u32) -> FileId {
-        self.pool.alloc_temp_file(base)
+        let file = self.pool.alloc_temp_file(base);
+        if self.traced.get() {
+            self.trace_event(TraceEventKind::SpillAlloc { file: file.0 as u64 });
+        }
+        file
     }
 
     /// Charge CPU for `n` rows.
@@ -204,6 +258,9 @@ impl Session {
     /// it; `usize::MAX` until then).
     pub fn set_memory_grant(&self, bytes: usize) {
         self.grant.set(bytes);
+        if self.traced.get() {
+            self.trace_event(TraceEventKind::GrantSet { bytes: bytes as u64 });
+        }
     }
 
     /// The memory grant recorded by [`Session::set_memory_grant`].
@@ -232,10 +289,91 @@ impl Session {
 
     /// Invoke the yield hook immediately, if installed (the serving layer
     /// calls this once before execution to park the query until admission).
+    /// Flushes the pending trace I/O window first, so per-quantum I/O
+    /// aggregates line up with scheduling slices.
     pub fn yield_now(&self) {
+        self.flush_io_window();
         if let Some(hook) = self.yielder.borrow_mut().as_mut() {
-            hook();
+            hook(self.clock.elapsed());
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Charge-free tracing
+    // ------------------------------------------------------------------
+
+    /// Attach this session to `sink` on a fresh track labelled `label`;
+    /// returns the track id.  Attaching never charges: tracing reads
+    /// the clock, it does not advance it.
+    pub fn attach_tracer(&self, sink: Arc<TraceSink>, label: &str) -> u32 {
+        let track = sink.alloc_track(label);
+        self.attach_tracer_track(sink, track);
+        track
+    }
+
+    /// Attach to `sink` on an externally allocated track (the concurrent
+    /// scheduler pre-allocates one track per query so its timeline and
+    /// the session's events land on the same lane).
+    pub fn attach_tracer_track(&self, sink: Arc<TraceSink>, track: u32) {
+        self.flush_io_window();
+        let enabled = sink.is_enabled();
+        self.trace_full.set(enabled && sink.detail() == TraceDetail::Full);
+        self.traced.set(enabled);
+        *self.tracer.borrow_mut() =
+            if enabled { Some(TraceHandle { sink, track }) } else { None };
+    }
+
+    /// Detach from the trace sink, flushing the pending I/O window.
+    pub fn detach_tracer(&self) {
+        self.flush_io_window();
+        self.traced.set(false);
+        self.trace_full.set(false);
+        *self.tracer.borrow_mut() = None;
+    }
+
+    /// True when a trace sink is attached (callers use this to skip
+    /// event construction — e.g. plan synopses — when disabled).
+    pub fn is_traced(&self) -> bool {
+        self.traced.get()
+    }
+
+    /// The attached trace handle, if any (cloned; handles are cheap).
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.tracer.borrow().clone()
+    }
+
+    /// Emit `kind` on this session's track, stamped with the session's
+    /// current simulated time.  No-op when untraced.
+    pub fn trace_event(&self, kind: TraceEventKind) {
+        if !self.traced.get() {
+            return;
+        }
+        if let Some(h) = self.tracer.borrow().as_ref() {
+            h.emit(self.clock.elapsed(), kind);
+        }
+    }
+
+    /// The I/O counted since the last window flush (reads, hits,
+    /// writes) — all zero when untraced.
+    pub fn pending_io_window(&self) -> (u64, u64, u64) {
+        (self.win_reads.get(), self.win_hits.get(), self.win_writes.get())
+    }
+
+    /// Emit the pending I/O window as one aggregate event and clear it.
+    /// Called at yield points, operator boundaries, reset and detach.
+    pub fn flush_io_window(&self) {
+        if !self.traced.get() {
+            return;
+        }
+        let (reads, hits, writes) =
+            (self.win_reads.get(), self.win_hits.get(), self.win_writes.get());
+        if reads + hits + writes == 0 {
+            return;
+        }
+        self.win_reads.set(0);
+        self.win_hits.set(0);
+        self.win_writes.set(0);
+        self.trace_event(TraceEventKind::IoWindow { reads, hits, writes });
     }
 
     #[inline]
@@ -374,7 +512,7 @@ mod tests {
         let f = Arc::clone(&fired);
         s.install_yield_hook(
             3,
-            Box::new(move || {
+            Box::new(move |_elapsed| {
                 f.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }),
         );
@@ -399,7 +537,7 @@ mod tests {
         // armed hook replays the exact f64 sequence of a plain one.
         let plain = Session::with_pool_pages(4);
         let hooked = Session::with_pool_pages(4);
-        hooked.install_yield_hook(2, Box::new(|| {}));
+        hooked.install_yield_hook(2, Box::new(|_| {}));
         for s in [&plain, &hooked] {
             for i in 0..32u32 {
                 s.read_page(pid(i % 9), AccessKind::Random);
@@ -412,5 +550,91 @@ mod tests {
         assert_eq!(plain.elapsed().to_bits(), hooked.elapsed().to_bits());
         assert_eq!(plain.stats(), hooked.stats());
         assert_eq!(plain.pool_counters(), hooked.pool_counters());
+    }
+
+    #[test]
+    fn yield_hook_receives_elapsed_sim_time() {
+        let s = Session::with_pool_pages(8);
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        s.install_yield_hook(
+            2,
+            Box::new(move |elapsed| {
+                sink.lock().unwrap().push(elapsed);
+            }),
+        );
+        for _ in 0..4 {
+            s.charge_rows(1);
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert!((seen[0] - 2.0 * s.model().cpu_row).abs() < 1e-15);
+        assert!((seen[1] - 4.0 * s.model().cpu_row).abs() < 1e-15);
+    }
+
+    #[test]
+    fn traced_session_charges_identically_to_plain_session() {
+        use robustmap_obs::trace::{TraceDetail, TraceSink};
+        // The charge-free contract at the storage layer: attaching a
+        // full-detail tracer replays the exact f64 charge sequence of
+        // an untraced session, while recording every page touch.
+        let plain = Session::with_pool_pages(4);
+        let traced = Session::with_pool_pages(4);
+        let sink = Arc::new(TraceSink::memory(TraceDetail::Full));
+        traced.attach_tracer(Arc::clone(&sink), "q0");
+        for s in [&plain, &traced] {
+            for i in 0..24u32 {
+                s.read_page(pid(i % 7), AccessKind::Random);
+                s.charge_rows(2);
+            }
+            s.write_page(pid(50));
+            s.alloc_temp_file(80);
+            s.set_memory_grant(1 << 20);
+            s.charge_hashes(3);
+        }
+        traced.detach_tracer();
+        assert_eq!(plain.elapsed().to_bits(), traced.elapsed().to_bits());
+        assert_eq!(plain.stats(), traced.stats());
+        assert_eq!(plain.pool_counters(), traced.pool_counters());
+        // ... and the trace saw it all.
+        let m = sink.metrics();
+        assert_eq!(m.counter("io.page_reads"), 24);
+        assert_eq!(m.counter("io.page_writes"), 1);
+        assert_eq!(m.counter("spill.files"), 1);
+        assert_eq!(m.counter("grant.sets"), 1);
+        // Detach flushed the window: aggregates match the stats.
+        assert_eq!(
+            m.counter("io.window.reads") + m.counter("io.window.hits"),
+            traced.stats().page_requests()
+        );
+        assert_eq!(traced.pending_io_window(), (0, 0, 0));
+        assert!(robustmap_obs::trace::validate_trace(&sink.events()).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_per_query_trace_state() {
+        use robustmap_obs::trace::{TraceDetail, TraceEventKind, TraceSink};
+        let s = Session::with_pool_pages(4);
+        let sink = Arc::new(TraceSink::memory(TraceDetail::Spans));
+        s.attach_tracer(Arc::clone(&sink), "warm");
+        for i in 0..5 {
+            s.read_page(pid(i), AccessKind::Random);
+        }
+        assert_eq!(s.pending_io_window(), (5, 0, 0));
+        s.reset();
+        // The pending window was flushed (not dropped) and the reset
+        // marker records that the track's clock restarted.
+        assert_eq!(s.pending_io_window(), (0, 0, 0));
+        let events = sink.events();
+        assert!(matches!(
+            events[events.len() - 2].kind,
+            TraceEventKind::IoWindow { reads: 5, .. }
+        ));
+        assert!(matches!(events.last().unwrap().kind, TraceEventKind::SessionReset));
+        // Post-reset events restart at sim zero without tripping the
+        // monotonicity validator.
+        s.read_page(pid(0), AccessKind::Random);
+        s.detach_tracer();
+        assert!(robustmap_obs::trace::validate_trace(&sink.events()).is_ok());
     }
 }

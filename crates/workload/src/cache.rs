@@ -107,7 +107,7 @@ fn parse_budget(v: &str) -> Option<u64> {
         Ok(0) => None,
         Ok(n) => Some(n.saturating_mul(unit)),
         Err(_) => {
-            eprintln!(
+            robustmap_obs::warn!(
                 "workload cache: unparseable ROBUSTMAP_WORKLOAD_CACHE_BUDGET {v:?}; \
                  using the default ({DEFAULT_CACHE_BUDGET} bytes)"
             );
@@ -275,7 +275,7 @@ pub(crate) fn write_cache_file(path: &Path, mut payload: Vec<u8>) {
         std::fs::rename(&tmp, path)
     };
     if let Err(e) = write() {
-        eprintln!("workload cache: could not write {}: {e}", path.display());
+        robustmap_obs::warn!("workload cache: could not write {}: {e}", path.display());
     } else if let (Some(budget), Some(dir)) = (cache_budget(), path.parent()) {
         prune_to_budget(dir, budget, path);
     }

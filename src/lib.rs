@@ -16,7 +16,10 @@
 //!   selectivities;
 //! * [`systems`] — the paper's Systems A, B and C as plan repertoires;
 //! * [`core`] — the paper's contribution: parameter sweeps, robustness
-//!   maps, relative/optimality analysis, color scales and renderers.
+//!   maps, relative/optimality analysis, color scales and renderers;
+//! * [`obs`] — charge-free observability: execution tracing on two
+//!   clocks (simulated + real), Chrome trace export, metrics, leveled
+//!   logging.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use robustmap_core as core;
 pub use robustmap_executor as executor;
+pub use robustmap_obs as obs;
 pub use robustmap_storage as storage;
 pub use robustmap_systems as systems;
 pub use robustmap_workload as workload;
