@@ -24,6 +24,8 @@
 //! * `ext_trace` — charge-free execution tracing: a traced burst as a
 //!   baton timeline, a traced adaptive bail as operator spans, with
 //!   trace/report reconciliation checks.
+//! * `ext_churn` — data churn + incremental statistics maintenance:
+//!   frozen vs maintained vs fresh statistics over a mutating table.
 //! * `ext_regression` — the §4 regression benchmark, runnable as a gate.
 
 use robustmap_core::analysis::changepoint::{detect_changepoints, ChangepointConfig};
@@ -593,6 +595,7 @@ pub fn ext_skew(h: &Harness) -> FigureOutput {
         rows,
         seed: h.w.config.seed,
         predicate_dist: robustmap_workload::gen::PredicateDistribution::ZipfHundredths(110),
+        mutation_epoch: 0,
     };
     let wz = TableBuilder::build_cached(zipf_cfg);
     let mut report = String::from(
@@ -848,6 +851,7 @@ pub fn ext_optimizer(h: &Harness) -> FigureOutput {
         rows: rows_c,
         seed: h.w.config.seed,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+        mutation_epoch: 0,
     });
     let plans_c: Vec<robustmap_systems::TwoPredPlan> = SystemId::all()
         .into_iter()
@@ -1042,6 +1046,7 @@ pub fn ext_correlated(h: &Harness) -> FigureOutput {
         rows,
         seed,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(rho_pct),
+        mutation_epoch: 0,
     };
     let rho_pct: [u32; 5] = [0, 25, 50, 75, 100];
     let nr = rho_pct.len();
@@ -1388,6 +1393,7 @@ pub fn ext_robust_choice(h: &Harness) -> FigureOutput {
             rows,
             seed,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(pct),
+            mutation_epoch: 0,
         });
         let plans = correlated_plan_set(&w);
         let stats = CatalogStats::of(&w);
@@ -1493,6 +1499,7 @@ pub fn ext_robust_choice(h: &Harness) -> FigureOutput {
         rows,
         seed,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+        mutation_epoch: 0,
     });
     let plans1 = correlated_plan_set(&w1);
     let stats1 = CatalogStats::of(&w1);
@@ -1603,6 +1610,7 @@ pub fn ext_robust_choice(h: &Harness) -> FigureOutput {
         rows,
         seed,
         predicate_dist: PredicateDistribution::ZipfHundredths(110),
+        mutation_epoch: 0,
     });
     let plansz = correlated_plan_set(&wz);
     let statsz = CatalogStats::of(&wz);
@@ -1839,6 +1847,7 @@ pub fn ext_adaptive(h: &Harness) -> FigureOutput {
             rows,
             seed,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(pct),
+            mutation_epoch: 0,
         });
         let plans = full_catalog(&w);
         let stats = CatalogStats::of(&w);
@@ -1922,6 +1931,7 @@ pub fn ext_adaptive(h: &Harness) -> FigureOutput {
         rows,
         seed,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+        mutation_epoch: 0,
     });
     let plans1 = full_catalog(&w1);
     let stats1 = CatalogStats::of(&w1);
@@ -2784,4 +2794,308 @@ pub fn ext_trace(h: &Harness) -> FigureOutput {
         h.write_artifact("ext_trace_checks.txt", &checks),
     ];
     FigureOutput::new("ext_trace", report, files)
+}
+
+/// Data churn + incremental statistics maintenance — the robustness map
+/// over a *mutating* database.  Every figure above measures a frozen
+/// table; the paper's thesis (run-time conditions diverge from
+/// compile-time assumptions, §1) bites hardest when the data itself
+/// drifts out from under the optimizer's statistics.  A deterministic
+/// [`robustmap_workload::ChurnDriver`] applies update-heavy batches with
+/// distribution drift through the *charged* session path (heap
+/// append/tombstone plus all five index maintenances land on the
+/// simulated clock), and three Point-policy choosers meet on the same
+/// measured cells at each churn level:
+///
+/// * **frozen** — the epoch-0 joint statistics, never refreshed: its
+///   wrong-choice region grows with the modified fraction;
+/// * **maintained** — [`robustmap_workload::MaintainedJoint`] folding
+///   per-bucket delta counters in after every batch: it tracks the
+///   churned table at bookkeeping cost, no heap scan;
+/// * **fresh** — a full rebuild from the mutated heap at every level,
+///   the exact-but-expensive upper baseline.
+///
+/// The named checks gate the subsystem: a zero-churn sweep through the
+/// churn engine is bit-identical to the static executor, mutation cost
+/// is charged, the staleness meter tracks applied work, the frozen
+/// chooser degrades while the maintained one holds within one grid step
+/// of the fresh rebuild, the staleness-aware estimator widens its
+/// credible region, and the mutation epoch re-keys the stats cache.
+pub fn ext_churn(h: &Harness) -> FigureOutput {
+    use robustmap_core::{Measurement, RegressionSuite};
+    use robustmap_storage::Session;
+    use robustmap_systems::choice::{Joint, Maintained, Stale};
+    use robustmap_systems::{CatalogStats, ChoicePolicy, Chooser};
+    use robustmap_workload::cache::config_hash;
+    use robustmap_workload::stats::stats_cache_path;
+    use robustmap_workload::{
+        ChurnConfig, ChurnDriver, JointHistogram, JointHistogramConfig, MaintainedJoint,
+        RebuildPolicy, TableBuilder, Workload, WorkloadConfig,
+    };
+
+    // Pinned scale: the experiment separates choosers by *statistics*
+    // error across the hash/scan crossover, which only works where the
+    // cost model's own boundary is calibrated against measurement.  At
+    // 2^14 rows the level-0 map has zero wrong cells for every chooser;
+    // at 2^16 the heap outgrows the pool and a ~1-cell model bias appears
+    // that a stale underestimate happens to cancel — scale would then
+    // measure model error, not staleness.
+    let rows = h.w.rows().min(1 << 14);
+    let seed = h.w.config.seed;
+    let cfg = WorkloadConfig { rows, seed, mutation_epoch: 0, ..Default::default() };
+    let jcfg = JointHistogramConfig::default();
+    let model = &h.config.measure.model;
+    let mut suite = RegressionSuite::new();
+
+    // Half-power-of-two selectivity steps down to 2^-12: a churn-induced
+    // estimate error of ~1.5x moves the hash/scan crossover (near 2^-5
+    // on this table) by about one cell at this resolution, where the
+    // paper's factor-of-two grid would straddle it.
+    let half_steps = 2 * h.config.grid_exp.clamp(12, 14);
+    let sels: Vec<f64> =
+        (0..=half_steps).rev().map(|k| 2f64.powf(-0.5 * k as f64)).collect();
+    let ns = sels.len();
+    let fractions: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let nl = fractions.len();
+    let drift = 85; // inserts draw column a from the lower 15% of the domain
+
+    let mut report = String::from(
+        "Extension P: data churn + incremental statistics maintenance — the robustness map \
+         over a mutating database\n",
+    );
+    report.push_str(&format!(
+        "{rows} rows; update-heavy churn (20% insert / 20% delete / 60% update) with \
+         downward drift {drift} (inserts draw a from the lower {}% of the domain, so the \
+         frozen statistics under-estimate small selectivities); selectivity diagonal \
+         sel_a = sel_b = s in half-power-of-two steps; all three choosers are Point-policy \
+         over the same four-plan catalog, differing only in their statistics: frozen \
+         (epoch 0), maintained (per-bucket deltas), fresh (rebuilt from the mutated heap)\n",
+        100 - drift,
+    ));
+
+    // Two builds of the same config: the static baseline never sees the
+    // churn engine; the churn copy gets a driver attached before its
+    // zero-churn sweep, so the bit-identity check covers "engaging the
+    // subsystem at zero churn changes nothing".
+    let w_static = TableBuilder::build_cached(cfg.clone());
+    let mut w_churn = TableBuilder::build_cached(cfg.clone());
+    let thr: Vec<(i64, i64)> =
+        sels.iter().map(|&s| (w_churn.cal_a.threshold(s), w_churn.cal_b.threshold(s))).collect();
+    // The contested pair: table scan vs hash intersect.  The intersect's
+    // cost is per-index-entry CPU and key-ordered leaf scans, so churn
+    // cannot skew it physically — B+-tree entries interleave in key
+    // order wherever the heap put the rows — and the selectivity error
+    // is the *only* thing separating the choosers at its scan crossover.
+    // The INL fetch and covering MDAM are deliberately excluded: MDAM
+    // dominates every diagonal cell outright, and the fetch's measured
+    // cost depends on where the churned rows physically landed (appends
+    // cluster in the heap tail), a locality effect the cost model
+    // deliberately does not track — with it in the catalog the map would
+    // measure model error, not statistics staleness.
+    let catalog = |w: &Workload| -> Vec<robustmap_systems::TwoPredPlan> {
+        let mut plans = correlated_plan_set(w);
+        plans.swap_remove(3); // drop mdam
+        plans.swap_remove(1); // drop the inl fetch
+        plans
+    };
+    let sweep = |w: &Workload| -> Vec<Measurement> {
+        let plans = catalog(w);
+        let specs: Vec<PlanSpec> =
+            plans.iter().flat_map(|p| thr.iter().map(|&(ta, tb)| p.build(ta, tb))).collect();
+        measure_batch(&w.db, &specs, &h.config.measure)
+    };
+
+    let base_joint = JointHistogram::build_cached(&w_churn, &jcfg);
+    let mut maint = MaintainedJoint::new(base_joint.clone());
+    let churn_cfg = ChurnConfig::for_workload(&w_churn).with_drift_down(drift);
+    let mut driver = ChurnDriver::new(&w_churn, churn_cfg);
+    let churn_session = Session::with_pool_pages(64);
+
+    let static_sweep = sweep(&w_static);
+    let churn0_sweep = sweep(&w_churn);
+    let bit_identical = static_sweep.len() == churn0_sweep.len()
+        && static_sweep.iter().zip(&churn0_sweep).all(|(a, b)| {
+            a.seconds.to_bits() == b.seconds.to_bits() && a.io == b.io && a.rows == b.rows
+        });
+    suite.check_named(
+        "zero churn: the sweep through the churn-engine workload is bit-identical \
+         (seconds.to_bits + IoStats) to the static executor's",
+        bit_identical,
+        format!("{} specs compared", static_sweep.len()),
+    );
+
+    let plans = catalog(&w_churn);
+    let plan_short = ["scan", "hash"];
+    let mut csv = String::from(
+        "fraction,sel,table_scan,hash_intersect,frozen_choice,\
+         maint_choice,fresh_choice,oracle_choice,frozen_regret,maint_regret,fresh_regret,\
+         fraction_modified,drift\n",
+    );
+    let mut frozen_regret = vec![1.0f64; nl * ns];
+    let mut maint_regret = vec![1.0f64; nl * ns];
+    let mut wrong = [[0usize; 3]; 6]; // per level: frozen, maintained, fresh
+    let mut worst = [[1.0f64; 3]; 6];
+    let mut churn_seconds = 0.0f64;
+    let mut churn_writes = 0u64;
+    report.push_str(&format!(
+        "\n{:>9} {:>9} {:>13} {:>13} {:>13} {:>7}\n",
+        "fraction", "drift", "frozen wrong", "maint wrong", "fresh wrong", "live"
+    ));
+    for (li, &frac) in fractions.iter().enumerate() {
+        if frac > 0.0 {
+            for b in driver.apply_until_fraction(&mut w_churn, &churn_session, frac) {
+                churn_seconds += b.seconds;
+                churn_writes += b.io.page_writes;
+                maint.apply(&b);
+            }
+        }
+        let results = if li == 0 { churn0_sweep.clone() } else { sweep(&w_churn) };
+        let stats = CatalogStats::of(&w_churn);
+        let fresh_joint = JointHistogram::from_workload(&w_churn, &jcfg);
+        let frozen_est = Joint::new(&base_joint);
+        let maint_est = Maintained::new(&maint);
+        let fresh_est = Joint::new(&fresh_joint);
+        let chooser = Chooser { plans: &plans, stats: &stats, model, policy: ChoicePolicy::Point };
+        let meter = maint.staleness();
+        for (si, &s) in sels.iter().enumerate() {
+            let (ta, tb) = thr[si];
+            let secs: Vec<f64> =
+                (0..plans.len()).map(|pi| results[pi * ns + si].seconds).collect();
+            let best = secs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-12);
+            let picks = [
+                chooser.choose(&frozen_est, ta, tb).plan,
+                chooser.choose(&maint_est, ta, tb).plan,
+                chooser.choose(&fresh_est, ta, tb).plan,
+            ];
+            let mut regrets = [1.0f64; 3];
+            for (ci, &p) in picks.iter().enumerate() {
+                let q = secs[p] / best;
+                regrets[ci] = q;
+                if q > 1.001 {
+                    wrong[li][ci] += 1;
+                }
+                worst[li][ci] = worst[li][ci].max(q);
+            }
+            frozen_regret[li * ns + si] = regrets[0];
+            maint_regret[li * ns + si] = regrets[1];
+            csv.push_str(&format!(
+                "{frac},{s:e},{:e},{:e},{},{},{},{},{:e},{:e},{:e},{:.6},{:.6}\n",
+                secs[0],
+                secs[1],
+                plan_short[picks[0]],
+                plan_short[picks[1]],
+                plan_short[picks[2]],
+                plan_short[oracle_of(&secs)],
+                regrets[0],
+                regrets[1],
+                regrets[2],
+                meter.fraction_modified,
+                meter.drift,
+            ));
+        }
+        report.push_str(&format!(
+            "{:>9.2} {:>9.3} {:>10}/{ns} {:>10}/{ns} {:>10}/{ns} {:>7}\n",
+            meter.fraction_modified,
+            meter.drift,
+            wrong[li][0],
+            wrong[li][1],
+            wrong[li][2],
+            driver.live_rows(),
+        ));
+    }
+
+    suite.check_named(
+        "churn cost is charged: mutation batches advance the simulated clock and write pages",
+        churn_seconds > 0.0 && churn_writes > 0,
+        format!("{churn_seconds:.3} s, {churn_writes} page writes"),
+    );
+    let meter = maint.staleness();
+    suite.check_named(
+        "staleness meter tracks applied work: fraction matches the driver, drifted inserts \
+         register as drift, and the default policy calls for a rebuild",
+        (meter.fraction_modified - driver.fraction_touched()).abs() < 1e-12
+            && meter.fraction_modified >= 0.5
+            && meter.drift > 0.2
+            && RebuildPolicy::default().should_rebuild(&meter),
+        format!("fraction {:.3}, drift {:.3}", meter.fraction_modified, meter.drift),
+    );
+    let (w0, w5) = (wrong[0][0], wrong[nl - 1][0]);
+    suite.check_named(
+        "frozen statistics: the wrong-choice region grows from zero churn to 50% modified",
+        w5 > w0,
+        format!("{w0}/{ns} cells at 0% -> {w5}/{ns} cells at 50%"),
+    );
+    suite.check_named(
+        "50% modified: the frozen chooser is strictly worse than the maintained one",
+        wrong[nl - 1][0] > wrong[nl - 1][1],
+        format!("{}/{ns} vs {}/{ns} wrong cells", wrong[nl - 1][0], wrong[nl - 1][1]),
+    );
+    suite.check_named(
+        "50% modified: maintained statistics hold within one grid step of the fresh rebuild",
+        wrong[nl - 1][1] <= wrong[nl - 1][2] + 1,
+        format!("{}/{ns} vs {}/{ns} wrong cells", wrong[nl - 1][1], wrong[nl - 1][2]),
+    );
+    let (ta_mid, tb_mid) = thr[ns / 2];
+    let stale_est = Stale::new(&base_joint, meter);
+    let (ra_stale, rb_stale) = stale_est.radii(ta_mid, tb_mid);
+    let (ra_base, rb_base) = Joint::new(&base_joint).radii(ta_mid, tb_mid);
+    suite.check_named(
+        "staleness widens the robust chooser's credible region on both axes",
+        ra_stale > ra_base && rb_stale > rb_base,
+        format!("a: {ra_stale:.4} > {ra_base:.4}; b: {rb_stale:.4} > {rb_base:.4}"),
+    );
+    let epoch_rekeys = config_hash(&cfg) != config_hash(&w_churn.config)
+        && w_churn.config.mutation_epoch > 0
+        && match (stats_cache_path(&cfg, &jcfg), stats_cache_path(&w_churn.config, &jcfg)) {
+            (Some(a), Some(b)) => a != b,
+            (None, None) => true, // caching disabled in this environment
+            _ => false,
+        };
+    suite.check_named(
+        "mutation epoch re-keys the content-addressed statistics cache (a stale wl-jstats-* \
+         entry can never be served for mutated data)",
+        epoch_rekeys,
+        format!("epoch {}", w_churn.config.mutation_epoch),
+    );
+    report.push_str(&format!(
+        "\nchurn cost charged: {churn_seconds:.3} simulated seconds, {churn_writes} page \
+         writes across {} batches; staleness at the end: fraction {:.3}, drift {:.3}\n",
+        driver.steps_applied(),
+        meter.fraction_modified,
+        meter.drift,
+    ));
+
+    report.push_str("\nregression checks over the churn subsystem:\n");
+    let checks = format!(
+        "{}verdict: {}\n",
+        suite.report(),
+        if suite.passed() { "PASS" } else { "FAIL" }
+    );
+    report.push_str(&checks);
+
+    let files = vec![
+        h.write_artifact("ext_churn.csv", &csv),
+        h.write_artifact("ext_churn_checks.txt", &checks),
+        h.write_artifact(
+            "ext_churn_frozen_regret.svg",
+            &heatmap_svg(
+                &frozen_regret,
+                &fractions,
+                &sels,
+                &relative_scale(),
+                "Frozen-statistics chooser regret over fraction modified (x) and selectivity (y)",
+            ),
+        ),
+        h.write_artifact(
+            "ext_churn_maint_regret.svg",
+            &heatmap_svg(
+                &maint_regret,
+                &fractions,
+                &sels,
+                &relative_scale(),
+                "Maintained-statistics chooser regret over fraction modified (x) and selectivity (y)",
+            ),
+        ),
+    ];
+    FigureOutput::new("ext_churn", report, files)
 }

@@ -48,6 +48,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ext_adaptive",
     "ext_concurrency",
     "ext_trace",
+    "ext_churn",
     "ext_regression",
 ];
 
@@ -87,6 +88,7 @@ fn run_figure_inner(h: &Harness, name: &str) -> Option<FigureOutput> {
         "ext_adaptive" => figures_ext::ext_adaptive(h),
         "ext_concurrency" => figures_ext::ext_concurrency(h),
         "ext_trace" => figures_ext::ext_trace(h),
+        "ext_churn" => figures_ext::ext_churn(h),
         "ext_regression" => figures_ext::ext_regression(h),
         _ => return None,
     })

@@ -124,6 +124,17 @@ fn event_json(kind: &TraceEventKind) -> EventJson {
                 "sched",
                 vec![("rows", rows.to_string())],
             ),
+            TraceEventKind::MutationBatch { rows, inserted, deleted, updated } => (
+                'i',
+                "mutation_batch".to_string(),
+                "sched",
+                vec![
+                    ("rows", rows.to_string()),
+                    ("inserted", inserted.to_string()),
+                    ("deleted", deleted.to_string()),
+                    ("updated", updated.to_string()),
+                ],
+            ),
         };
     EventJson { ph, name, cat, args }
 }

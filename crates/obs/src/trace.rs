@@ -104,6 +104,12 @@ pub enum TraceEventKind {
     IdleReset,
     /// Scheduler: the query completed with `rows` output rows.
     QueryDone { rows: u64 },
+    /// Churn: one mutation batch was applied to the database —
+    /// `rows` heap rows touched, split into `inserted`/`deleted`/`updated`
+    /// operations.  Charge-free (emitted after the batch's charges land),
+    /// on the scheduler track so serving timelines show data churn
+    /// alongside query slices.
+    MutationBatch { rows: u64, inserted: u64, deleted: u64, updated: u64 },
 }
 
 impl TraceEventKind {
@@ -115,7 +121,8 @@ impl TraceEventKind {
             | TraceEventKind::SliceBegin
             | TraceEventKind::SliceEnd
             | TraceEventKind::IdleReset
-            | TraceEventKind::QueryDone { .. } => ClockDomain::Scheduler,
+            | TraceEventKind::QueryDone { .. }
+            | TraceEventKind::MutationBatch { .. } => ClockDomain::Scheduler,
             _ => ClockDomain::Query,
         }
     }
@@ -285,6 +292,10 @@ impl TraceSink {
             TraceEventKind::SliceEnd => {}
             TraceEventKind::IdleReset => metrics.incr("sched.idle_resets", 1),
             TraceEventKind::QueryDone { .. } => metrics.incr("sched.completions", 1),
+            TraceEventKind::MutationBatch { rows, .. } => {
+                metrics.incr("churn.batches", 1);
+                metrics.incr("churn_rows_applied", *rows);
+            }
         }
     }
 

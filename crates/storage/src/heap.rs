@@ -200,6 +200,29 @@ impl HeapFile {
         self.row_count -= 1;
         Ok(())
     }
+
+    /// Append a row on the charged mutation path: one random read of the
+    /// target page (to pin it), one page write (the dirtied page), and one
+    /// row of CPU.  This is the churn engine's entry point — unlike
+    /// [`HeapFile::append`], the work lands on the simulated clock.
+    pub fn append_charged(&mut self, row: &Row, session: &Session) -> Result<Rid> {
+        let rid = self.append(row)?;
+        let pid = self.page_id(rid.page);
+        session.read_page(pid, AccessKind::Random);
+        session.write_page(pid);
+        session.charge_rows(1);
+        Ok(rid)
+    }
+
+    /// Delete a row on the charged mutation path: the caller has typically
+    /// already fetched the victim (its own charge); tombstoning dirties the
+    /// page, so we charge one page write plus one row of CPU.
+    pub fn delete_charged(&mut self, rid: Rid, session: &Session) -> Result<()> {
+        self.delete(rid)?;
+        session.write_page(self.page_id(rid.page));
+        session.charge_rows(1);
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for HeapFile {

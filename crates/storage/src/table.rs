@@ -202,6 +202,20 @@ impl Database {
         &self.indexes[id.0 as usize]
     }
 
+    /// Mutable table lookup — the churn engine's entry point.  The catalog
+    /// stays immutable *during* a map sweep; churn batches run strictly
+    /// between sweeps, on the single thread that owns the database.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.0 as usize]
+    }
+
+    /// Mutable index lookup (see [`Database::table_mut`]): secondary-index
+    /// maintenance under churn goes through [`crate::BTree::insert`] /
+    /// [`crate::BTree::delete`], both of which charge the session.
+    pub fn index_def_mut(&mut self, id: IndexId) -> &mut IndexDef {
+        &mut self.indexes[id.0 as usize]
+    }
+
     /// Find a table id by name.
     pub fn table_by_name(&self, name: &str) -> Result<TableId> {
         self.tables

@@ -139,6 +139,113 @@ proptest! {
     }
 }
 
+/// One step of the miniature churn workload below.
+#[derive(Debug, Clone, Copy)]
+enum ChurnStep {
+    /// Insert `Key::pair(a, b)` under slot `1000 + r`.
+    Insert(i64, i64, u32),
+    /// Delete the `i % live`-th live entry (model order).
+    DeleteAt(usize),
+    /// Delete a (key, rid) pair that was never inserted.
+    DeleteMissing(i64, i64),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The churn lifecycle in miniature: a *bulk-loaded* composite-key
+    /// tree (the shape every catalog index starts in) driven through a
+    /// mixed insert/delete interleaving, against a `BTreeMap` model.
+    /// Bulk-loaded nodes are packed to the fill factor, so the very first
+    /// inserts split full leaves and the first deletes underflow them —
+    /// paths the build-from-empty test above never starts from.  After
+    /// every operation the structural invariants must hold; at the end,
+    /// full ordering, point lookups and prefix ranges must agree.
+    #[test]
+    fn bulk_loaded_btree_survives_mixed_churn(
+        base in prop::collection::btree_set((0i64..48, 0i64..48), 1..120),
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Insert a fresh (key, rid) pair.
+                (0i64..48, 0i64..48, 0u32..64).prop_map(|(a, b, r)| ChurnStep::Insert(a, b, r)),
+                // Delete a *live* entry picked by index — hits the
+                // bulk-loaded population as readily as churn inserts,
+                // exactly like the driver picking victims.
+                (0usize..4096).prop_map(ChurnStep::DeleteAt),
+                // Delete a (key, rid) that was never inserted.
+                (0i64..48, 0i64..48).prop_map(|(a, b)| ChurnStep::DeleteMissing(a, b)),
+            ],
+            1..250,
+        ),
+        fill in 0.5f64..1.0,
+        probe in 0i64..48,
+    ) {
+        let s = session();
+        let entries: Vec<(Key, Rid)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (Key::pair(a, b), Rid::new(0, i as u32)))
+            .collect();
+        let mut tree = BTree::bulk_load_with_caps(FileId(0), 2, &entries, fill, 6, 6);
+        let mut model: BTreeMap<(i64, i64, u32), Rid> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| ((a, b, i as u32), Rid::new(0, i as u32)))
+            .collect();
+        for op in ops {
+            match op {
+                ChurnStep::Insert(a, b, r) => {
+                    let rid = Rid::new(0, 1000 + r);
+                    let did = tree.insert(Key::pair(a, b), rid, &s);
+                    prop_assert_eq!(did, model.insert((a, b, 1000 + r), rid).is_none());
+                }
+                ChurnStep::DeleteAt(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let (&(a, b, slot), &rid) =
+                        model.iter().nth(i % model.len()).expect("non-empty");
+                    prop_assert!(tree.delete(Key::pair(a, b), rid, &s));
+                    model.remove(&(a, b, slot));
+                }
+                ChurnStep::DeleteMissing(a, b) => {
+                    // Rid 5000 is above both the base slots and the
+                    // churn-insert slots, so this (key, rid) never exists.
+                    prop_assert!(!tree.delete(Key::pair(a, b), Rid::new(0, 5000), &s));
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len() as usize, model.len());
+        }
+        // Full ordering agreement.
+        let all: Vec<(i64, i64, u32)> =
+            tree.collect_all().iter().map(|(k, r)| (k.get(0), k.get(1), r.slot)).collect();
+        let want: Vec<(i64, i64, u32)> = model.keys().copied().collect();
+        prop_assert_eq!(all, want);
+        // Point lookup through the churned structure.
+        let got = tree.get_first(&Key::pair(probe, probe), &s);
+        let want_first = model
+            .range((probe, probe, 0)..=(probe, probe, u32::MAX))
+            .next()
+            .map(|(_, &rid)| rid);
+        prop_assert_eq!(got, want_first);
+        // Prefix range scan over the leading column.
+        let mut got = Vec::new();
+        tree.scan_range(
+            &Key::padded_lo(&[probe], 2),
+            &Key::padded_hi(&[probe], 2),
+            &s,
+            AccessKind::Sequential,
+            |(k, rid)| got.push((k.get(0), k.get(1), rid.slot)),
+        );
+        let want: Vec<(i64, i64, u32)> = model
+            .range((probe, i64::MIN, 0)..=(probe, i64::MAX, u32::MAX))
+            .map(|(&(a, b, _), r)| (a, b, r.slot))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
 // ---------------------------------------------------------------- bitmap
 
 proptest! {

@@ -29,10 +29,14 @@
 //! deprecated shims over this API.
 
 use robustmap_storage::CostModel;
-use robustmap_workload::{Calibrator, EquiDepthHistogram, JointHistogram, Workload};
+use robustmap_workload::{
+    Calibrator, EquiDepthHistogram, JointHistogram, MaintainedJoint, Staleness, Workload,
+};
 
-use crate::optimizer::{estimate_cost, CatalogStats, SelEstimates};
-use crate::robust::{credible_region, region_cost, RobustConfig, SelHypothesis};
+use crate::optimizer::{estimate_cost, frechet_clamp, CatalogStats, SelEstimates};
+use crate::robust::{
+    credible_region, credible_region_around, region_cost, RobustConfig, SelHypothesis,
+};
 use crate::two_pred::TwoPredPlan;
 
 /// A source of selectivity beliefs for the two-predicate query.
@@ -181,6 +185,116 @@ impl Estimator for Joint<'_> {
     fn region(&self, ta: i64, tb: i64) -> Vec<SelHypothesis> {
         let (ra, rb) = self.radii(ta, tb);
         credible_region(self.joint, ta, tb, ra, rb)
+    }
+}
+
+/// Staleness-inflated per-axis half-width: the larger of the bucket
+/// resolution and `z` standard errors, where the variance is the sampling
+/// variance *plus* the churned mass's worth of Bernoulli variance —
+/// `var + severity * p(1-p)`.  At severity 0 this is exactly [`Joint`]'s
+/// width; as the modified fraction (amplified by drift) approaches 1 the
+/// standard error approaches the full population standard deviation,
+/// i.e. "the statistic tells us almost nothing beyond the mean".
+fn stale_radius(resolution: f64, z: f64, var: f64, p: f64, severity: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    resolution.max(z * (var + severity.clamp(0.0, 1.0) * p * (1.0 - p)).sqrt())
+}
+
+/// Frozen joint statistics known to be stale: the estimate is the base's
+/// (wrong under churn — that is the point), but the credible region
+/// widens with the [`Staleness`] meter, so [`ChoicePolicy::Robust`]
+/// hedges harder the longer the statistics go unmaintained.
+///
+/// Same shape as [`Joint`]'s variance-adaptive half-widths, with the
+/// variance inflated by [`Staleness::severity`] (see `stale_radius`).
+pub struct Stale<'j> {
+    joint: &'j JointHistogram,
+    /// The staleness meter driving the widening.
+    pub staleness: Staleness,
+    /// Credible-band width in standard errors (default 2, as [`Joint`]).
+    pub z: f64,
+}
+
+impl<'j> Stale<'j> {
+    /// A stale-aware estimator over frozen statistics and a meter reading.
+    pub fn new(joint: &'j JointHistogram, staleness: Staleness) -> Self {
+        Stale { joint, staleness, z: 2.0 }
+    }
+
+    /// The staleness-widened half-widths at `(ta, tb)`.
+    pub fn radii(&self, ta: i64, tb: i64) -> (f64, f64) {
+        let s = self.staleness.severity();
+        let ra = stale_radius(
+            self.joint.resolution_a(),
+            self.z,
+            self.joint.sel_variance_a(ta),
+            self.joint.marginal_a().estimate_at_most(ta),
+            s,
+        );
+        let rb = stale_radius(
+            self.joint.resolution_b(),
+            self.z,
+            self.joint.sel_variance_b(tb),
+            self.joint.marginal_b().estimate_at_most(tb),
+            s,
+        );
+        (ra, rb)
+    }
+}
+
+impl Estimator for Stale<'_> {
+    fn estimate(&self, ta: i64, tb: i64) -> SelEstimates {
+        SelEstimates::from_joint(self.joint, ta, tb)
+    }
+
+    fn region(&self, ta: i64, tb: i64) -> Vec<SelHypothesis> {
+        let (ra, rb) = self.radii(ta, tb);
+        credible_region(self.joint, ta, tb, ra, rb)
+    }
+}
+
+/// Incrementally maintained joint statistics
+/// ([`robustmap_workload::stats_maint::MaintainedJoint`]): the point
+/// estimate folds the per-bucket deltas in, so it tracks the churned
+/// table; the region keeps the base's variance-adaptive widths (the
+/// deltas fix the *mean*, not the within-bucket placement, so the
+/// resolution floor still applies) around the corrected center.
+pub struct Maintained<'m> {
+    stats: &'m MaintainedJoint,
+    /// Credible-band width in standard errors (default 2, as [`Joint`]).
+    pub z: f64,
+}
+
+impl<'m> Maintained<'m> {
+    /// An estimator over maintained statistics.
+    pub fn new(stats: &'m MaintainedJoint) -> Self {
+        Maintained { stats, z: 2.0 }
+    }
+
+    /// The underlying maintained statistics.
+    pub fn stats(&self) -> &'m MaintainedJoint {
+        self.stats
+    }
+
+    fn radii(&self, ta: i64, tb: i64) -> (f64, f64) {
+        let base = self.stats.base();
+        let ra = base.resolution_a().max(self.z * base.sel_variance_a(ta).sqrt());
+        let rb = base.resolution_b().max(self.z * base.sel_variance_b(tb).sqrt());
+        (ra, rb)
+    }
+}
+
+impl Estimator for Maintained<'_> {
+    fn estimate(&self, ta: i64, tb: i64) -> SelEstimates {
+        let sel_a = self.stats.estimate_a(ta);
+        let sel_b = self.stats.estimate_b(tb);
+        let sel_ab = frechet_clamp(sel_a, sel_b, self.stats.estimate_ab(ta, tb));
+        SelEstimates { sel_a, sel_b, sel_ab }
+    }
+
+    fn region(&self, ta: i64, tb: i64) -> Vec<SelHypothesis> {
+        let (ra, rb) = self.radii(ta, tb);
+        credible_region_around(self.estimate(ta, tb), ra, rb)
     }
 }
 
@@ -373,6 +487,7 @@ mod tests {
             rows: 1 << 14,
             seed: 77,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(60),
+            mutation_epoch: 0,
         });
         let sparse_stats = JointHistogram::from_workload(
             &w,
@@ -488,6 +603,7 @@ mod tests {
             rows: 1 << 14,
             seed: 31,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+            mutation_epoch: 0,
         });
         let stats = CatalogStats::of(&w);
         let model = CostModel::hdd_2009();

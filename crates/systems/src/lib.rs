@@ -61,13 +61,13 @@ pub use adaptive::{
     CARDINALITY_NOISE_ROWS,
     DEFAULT_BAND_FACTOR,
 };
-pub use choice::{Choice, ChoicePolicy, Chooser, Estimator};
+pub use choice::{Choice, ChoicePolicy, Chooser, Estimator, Maintained, Stale};
 #[allow(deprecated)] // the legacy shims stay importable while callers migrate
 pub use optimizer::choose_plan;
 pub use optimizer::{estimate_cost, estimate_fetch, CatalogStats, SelEstimates};
 #[allow(deprecated)]
 pub use robust::{choose_plan_robust, choose_plan_with_joint};
-pub use robust::{credible_region, uncertainty_region, RobustConfig, SelHypothesis};
+pub use robust::{credible_region, credible_region_around, uncertainty_region, RobustConfig, SelHypothesis};
 pub use single_pred::{single_predicate_plans, SinglePredPlan, SinglePredPlanSet};
 pub use system::{SystemId, SystemInfo};
 pub use two_pred::{two_predicate_plans, TwoPredPlan};

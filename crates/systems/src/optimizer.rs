@@ -476,6 +476,7 @@ mod tests {
             rows: 1 << 14,
             seed: 23,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(100),
+            mutation_epoch: 0,
         });
         let joint = JointHistogram::from_workload(&w, &JointHistogramConfig::default());
         let (ta, tb) = (w.cal_a.threshold(0.25), w.cal_b.threshold(0.25));

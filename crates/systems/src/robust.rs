@@ -83,7 +83,18 @@ pub fn credible_region(
     radius_a: f64,
     radius_b: f64,
 ) -> Vec<SelHypothesis> {
-    let center = SelEstimates::from_joint(joint, ta, tb);
+    credible_region_around(SelEstimates::from_joint(joint, ta, tb), radius_a, radius_b)
+}
+
+/// The same credible box around an explicit center estimate — the shared
+/// construction behind [`credible_region`] and the staleness-aware
+/// estimators in [`crate::choice`], whose centers do not come from a
+/// [`JointHistogram`] lookup (stale bases, delta-maintained statistics).
+pub fn credible_region_around(
+    center: SelEstimates,
+    radius_a: f64,
+    radius_b: f64,
+) -> Vec<SelHypothesis> {
     // The statistics' observed dependence, carried across the box: the
     // lift is what the histogram knows beyond the marginals.
     let lift = center.sel_ab / (center.sel_a * center.sel_b);
@@ -257,6 +268,7 @@ mod tests {
             rows: 1 << 14,
             seed: 31,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(75),
+            mutation_epoch: 0,
         });
         let joint = robustmap_workload::JointHistogram::from_workload(
             &w,

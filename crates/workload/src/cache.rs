@@ -68,7 +68,10 @@ const MAGIC: &[u8; 8] = b"RMWLC\x01\0\0";
 /// behaviour.  The version is part of the content hash, so a bump makes
 /// every old file miss and rebuild; forgetting one silently serves
 /// pre-change workloads to every binary and test.
-const VERSION: u64 = 1;
+///
+/// Version 2: the stored config gained a mutation-epoch word (churned
+/// tables are cached under epoch-specific keys).
+const VERSION: u64 = 2;
 
 /// Default size budget for the cache directory: 4 GiB.
 pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 30;
@@ -170,7 +173,7 @@ fn dist_code(d: PredicateDistribution) -> (u64, u64) {
 pub fn config_hash(config: &WorkloadConfig) -> u64 {
     let (tag, param) = dist_code(config.predicate_dist);
     let mut h = FNV_SEED;
-    for word in [VERSION, config.rows, config.seed, tag, param] {
+    for word in [VERSION, config.rows, config.seed, tag, param, config.mutation_epoch] {
         h = fnv1a(h, &word.to_le_bytes());
     }
     h
@@ -218,6 +221,7 @@ pub fn store(w: &Workload) {
     out.u64(w.config.seed);
     out.u64(tag);
     out.u64(param);
+    out.u64(w.config.mutation_epoch);
 
     // Heap: raw page images.
     let heap = &w.db.table(w.table).heap;
@@ -406,8 +410,8 @@ fn parse(payload: &[u8], config: &WorkloadConfig) -> Option<Workload> {
         return None;
     }
     let (tag, param) = dist_code(config.predicate_dist);
-    if [r.u64()?, r.u64()?, r.u64()?, r.u64()?]
-        != [config.rows, config.seed, tag, param]
+    if [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?]
+        != [config.rows, config.seed, tag, param, config.mutation_epoch]
     {
         return None;
     }

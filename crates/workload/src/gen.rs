@@ -62,11 +62,21 @@ pub struct WorkloadConfig {
     pub seed: u64,
     /// Distribution of predicate columns `a` and `b`.
     pub predicate_dist: PredicateDistribution,
+    /// Mutation epoch: 0 for a freshly generated table, bumped by the churn
+    /// driver after every applied batch.  Folded into every content-addressed
+    /// cache key (`wl-*`, `wl-jstats-*`), so an artifact cached for one
+    /// epoch can never be served for a table whose rows have since changed.
+    pub mutation_epoch: u64,
 }
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { rows: 1 << 20, seed: 0xC1D2_2009, predicate_dist: PredicateDistribution::Permutation }
+        WorkloadConfig {
+            rows: 1 << 20,
+            seed: 0xC1D2_2009,
+            predicate_dist: PredicateDistribution::Permutation,
+            mutation_epoch: 0,
+        }
     }
 }
 
@@ -405,6 +415,7 @@ mod tests {
                 rows: 1 << 12,
                 seed: 7,
                 predicate_dist: PredicateDistribution::CorrelatedHundredths(rho),
+                mutation_epoch: 0,
             };
             let w = TableBuilder::build(cfg);
             // Column a stays an exact permutation: calibrated thresholds hit
@@ -434,6 +445,7 @@ mod tests {
             rows: 1 << 12,
             seed: 5,
             predicate_dist: PredicateDistribution::ZipfHundredths(110),
+            mutation_epoch: 0,
         };
         let w = TableBuilder::build(cfg);
         let (t, count) = w.cal_a.threshold_with_count(0.5);

@@ -28,15 +28,19 @@
 
 pub mod cache;
 pub mod calib;
+pub mod churn;
 pub mod dist;
 pub mod gen;
 pub mod histogram;
 pub mod stats;
+pub mod stats_maint;
 
 pub use calib::Calibrator;
+pub use churn::{AppliedBatch, ChurnConfig, ChurnDriver, ChurnOp, ChurnPlan};
 pub use histogram::EquiDepthHistogram;
 pub use dist::{Correlated, Distribution, Permutation, Uniform, Zipf};
 pub use gen::{
     TableBuilder, Workload, WorkloadConfig, COL_A, COL_B, COL_C, COL_ORDERKEY, COL_PAYLOAD,
 };
 pub use stats::{JointHistogram, JointHistogramConfig};
+pub use stats_maint::{MaintainedJoint, RebuildPolicy, Staleness};

@@ -102,8 +102,10 @@ fn sample_mean_variance(p: f64, m: u64) -> f64 {
     p * (1.0 - p) / (m - 1) as f64
 }
 
-/// A splitmix64-style finalizer: the per-row sampling draw.
-fn draw(seed: u64, i: u64) -> u64 {
+/// A splitmix64-style finalizer: the per-row sampling draw (shared with
+/// the churn generator, which needs the same pure-function-of-`(seed, i)`
+/// shape).
+pub(crate) fn draw(seed: u64, i: u64) -> u64 {
     let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -523,6 +525,7 @@ mod tests {
             rows: 1 << 12,
             seed: 21,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(75),
+            mutation_epoch: 0,
         };
         let w = TableBuilder::build(cfg);
         let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
@@ -545,6 +548,7 @@ mod tests {
             rows: 1 << 12,
             seed: 0x5EED_CAC4E,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(50),
+            mutation_epoch: 0,
         };
         let w = TableBuilder::build(wl.clone());
         let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
@@ -566,6 +570,7 @@ mod tests {
             rows: 1 << 12,
             seed: 0xBAD_57A75,
             predicate_dist: PredicateDistribution::Permutation,
+            mutation_epoch: 0,
         };
         let w = TableBuilder::build(wl.clone());
         let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };

@@ -137,6 +137,7 @@ proptest! {
             rows: 1 << 10,
             seed: wl_seed,
             predicate_dist: PredicateDistribution::CorrelatedHundredths(rho),
+            mutation_epoch: 0,
         };
         let w = TableBuilder::build(cfg);
         let jcfg = JointHistogramConfig {
@@ -168,6 +169,7 @@ fn stats_cache_roundtrip_is_bit_identical_and_rebuild_agrees() {
         rows: 1 << 12,
         seed: 0x1057_CAFE,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(80),
+        mutation_epoch: 0,
     };
     let w = TableBuilder::build(wl.clone());
     let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };

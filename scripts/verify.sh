@@ -34,7 +34,8 @@ run cargo test -q --release --workspace --doc
 echo "== batch + adaptive + concurrent equivalence at ROBUSTMAP_BATCH_ROWS=513, ROBUSTMAP_QUANTUM=513"
 ROBUSTMAP_BATCH_ROWS=513 ROBUSTMAP_QUANTUM=513 run cargo test -q --release \
     --test batch_equivalence --test warm_sweep_equivalence \
-    --test adaptive_equivalence --test concurrent_equivalence
+    --test adaptive_equivalence --test concurrent_equivalence \
+    --test tombstone_equivalence
 
 # Tracing must be charge-free: re-run the same differential suites with a
 # process-wide trace sink attached (every session auto-attaches and emits
@@ -44,7 +45,8 @@ ROBUSTMAP_BATCH_ROWS=513 ROBUSTMAP_QUANTUM=513 run cargo test -q --release \
 echo "== the same equivalence suites again, traced (ROBUSTMAP_TRACE, full detail)"
 ROBUSTMAP_TRACE="target/trace-verify.json" ROBUSTMAP_TRACE_DETAIL=full run cargo test -q --release \
     --test batch_equivalence --test warm_sweep_equivalence \
-    --test adaptive_equivalence --test concurrent_equivalence
+    --test adaptive_equivalence --test concurrent_equivalence \
+    --test tombstone_equivalence
 run cargo clippy --release --workspace --all-targets -- -D warnings
 run cargo doc --no-deps --workspace
 
@@ -80,10 +82,10 @@ cmp target/figures-verify/fig1.csv crates/bench/baselines/fig1_smoke.csv || {
     exit 1
 }
 
-echo "== smoke 3/3: sort-spill + correlated + chooser + adaptive + concurrency + trace sweeps, and the regression-check gate"
+echo "== smoke 3/3: sort-spill + correlated + chooser + adaptive + concurrency + trace + churn sweeps, and the regression-check gate"
 ROBUSTMAP_WORKLOAD_CACHE="$SMOKE_CACHE" run cargo run --release -p robustmap-bench --bin figures -- \
     --rows 16384 --grid 8 --out target/figures-verify \
-    ext_sort_spill ext_correlated ext_optimizer ext_robust_choice ext_adaptive ext_concurrency ext_trace ext_regression
+    ext_sort_spill ext_correlated ext_optimizer ext_robust_choice ext_adaptive ext_concurrency ext_trace ext_churn ext_regression
 test -s target/figures-verify/ext_sort_spill.csv
 test -s target/figures-verify/ext_correlated.csv
 test -s target/figures-verify/ext_correlated_regret.svg
@@ -106,6 +108,10 @@ test -s target/figures-verify/ext_trace_adaptive.svg
 test -s target/figures-verify/ext_trace_ops.csv
 test -s target/figures-verify/ext_trace_metrics.txt
 test -s target/figures-verify/ext_trace_checks.txt
+test -s target/figures-verify/ext_churn.csv
+test -s target/figures-verify/ext_churn_checks.txt
+test -s target/figures-verify/ext_churn_frozen_regret.svg
+test -s target/figures-verify/ext_churn_maint_regret.svg
 # The Chrome trace artifact must be loadable JSON (Perfetto/chrome://tracing
 # take exactly this shape); validate with python when available.
 if command -v python3 >/dev/null 2>&1; then
@@ -121,32 +127,33 @@ fi
 # The regression gate spans the §4 benchmark (28 checks at the seed), the
 # robust-chooser subsystem's named checks (8), the estimator
 # comparison's (5), the adaptive executor's (7), the concurrent
-# serving layer's (8) and the tracing layer's (7): the combined floor is
-# 63, and every check must PASS (the figures binary prints, it does not
-# gate).
+# serving layer's (8), the tracing layer's (7) and the churn/statistics
+# maintenance subsystem's (8): the combined floor is 71, and every check
+# must PASS (the figures binary prints, it does not gate).
 checks_reg=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_regression.txt | head -1 | cut -d' ' -f1 || true)
 checks_robust=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_robust_choice_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_opt=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_optimizer_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_adapt=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_adaptive_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_conc=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_concurrency_checks.txt | head -1 | cut -d' ' -f1 || true)
 checks_trace=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_trace_checks.txt | head -1 | cut -d' ' -f1 || true)
-total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} + ${checks_opt:-0} + ${checks_adapt:-0} + ${checks_conc:-0} + ${checks_trace:-0} ))
+checks_churn=$(grep -Eo '^[0-9]+ checks' target/figures-verify/ext_churn_checks.txt | head -1 | cut -d' ' -f1 || true)
+total_checks=$(( ${checks_reg:-0} + ${checks_robust:-0} + ${checks_opt:-0} + ${checks_adapt:-0} + ${checks_conc:-0} + ${checks_trace:-0} + ${checks_churn:-0} ))
 if [ "${checks_reg:-0}" -lt 28 ]; then
     echo "regression-check count ${checks_reg:-0} dropped below the seed's 28" >&2
     exit 1
 fi
-if [ "$total_checks" -lt 63 ]; then
-    echo "combined regression-check count $total_checks dropped below the floor of 63" >&2
+if [ "$total_checks" -lt 71 ]; then
+    echo "combined regression-check count $total_checks dropped below the floor of 71" >&2
     exit 1
 fi
-for report in ext_regression.txt ext_robust_choice_checks.txt ext_optimizer_checks.txt ext_adaptive_checks.txt ext_concurrency_checks.txt ext_trace_checks.txt; do
+for report in ext_regression.txt ext_robust_choice_checks.txt ext_optimizer_checks.txt ext_adaptive_checks.txt ext_concurrency_checks.txt ext_trace_checks.txt ext_churn_checks.txt; do
     grep -q 'verdict: PASS' "target/figures-verify/$report" || {
         echo "robustness regression benchmark FAILED ($report):" >&2
         grep '^\[FAIL\]' "target/figures-verify/$report" >&2
         exit 1
     }
 done
-echo "== regression-check count: $total_checks ($checks_reg + $checks_robust + $checks_opt + $checks_adapt + $checks_conc + $checks_trace, >= 63), verdicts PASS"
+echo "== regression-check count: $total_checks ($checks_reg + $checks_robust + $checks_opt + $checks_adapt + $checks_conc + $checks_trace + $checks_churn, >= 71), verdicts PASS"
 rm -rf "$SMOKE_CACHE"
 
 echo "== deprecated-shim gate: crates/bench must use the Chooser API, not the legacy free functions"

@@ -20,6 +20,7 @@ fn private_config() -> WorkloadConfig {
         rows: 1 << 12,
         seed: 0xD15E_A5ED_CAFE,
         predicate_dist: PredicateDistribution::Permutation,
+        mutation_epoch: 0,
     }
 }
 
@@ -75,6 +76,7 @@ fn correlated_column_survives_the_cache_bit_identically() {
         rows: 1 << 12,
         seed: 0xC0_55E1A7ED,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(60),
+        mutation_epoch: 0,
     };
     let fresh = TableBuilder::build(config.clone());
     cache::store(&fresh);
@@ -121,6 +123,7 @@ fn joint_statistics_ride_the_cache_bit_identically() {
         rows: 1 << 12,
         seed: 0x107_57A75,
         predicate_dist: PredicateDistribution::CorrelatedHundredths(70),
+        mutation_epoch: 0,
     };
     let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
     let Some(stats_path) = stats::stats_cache_path(&config, &jcfg) else { return };
@@ -164,4 +167,71 @@ fn build_cached_roundtrips_through_the_cache() {
     assert_eq!(m1b, m2b);
 
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn churn_cannot_be_served_poisoned_statistics() {
+    // The poisoning scenario the mutation epoch exists to kill: statistics
+    // are cached content-addressed by `WorkloadConfig`, and before the
+    // epoch existed a table mutated in place still *had* its pristine
+    // config — so a lookup after churn would happily serve the frozen
+    // pre-churn histogram as if it were fresh.  Every mutation batch bumps
+    // `mutation_epoch`, which feeds both the workload and statistics cache
+    // keys; this test pins the whole chain.
+    use robustmap::storage::Session;
+    use robustmap::workload::{
+        stats, ChurnConfig, ChurnDriver, JointHistogram, JointHistogramConfig,
+    };
+    let config = WorkloadConfig {
+        rows: 1 << 12,
+        seed: 0x9015_0A7CE,
+        predicate_dist: PredicateDistribution::CorrelatedHundredths(70),
+        mutation_epoch: 0,
+    };
+    let jcfg = JointHistogramConfig { sample_target: 1 << 10, ..Default::default() };
+    let Some(pristine_path) = stats::stats_cache_path(&config, &jcfg) else { return };
+    let _ = std::fs::remove_file(&pristine_path);
+
+    let mut w = TableBuilder::build(config.clone());
+    let pristine = JointHistogram::build_cached(&w, &jcfg);
+    assert!(pristine_path.exists(), "epoch-0 statistics must be cached");
+
+    // Mutate the table: heavy drift so the poisoned entry is not merely
+    // stale but *wrong* where it matters.
+    let mut driver = ChurnDriver::new(&w, ChurnConfig::for_workload(&w).with_drift_down(85));
+    let session = Session::with_pool_pages(64);
+    driver.apply_until_fraction(&mut w, &session, 0.3);
+    assert!(w.config.mutation_epoch > 0, "churn must bump the mutation epoch");
+
+    // The mutated config addresses a *different* cache slot, so the
+    // frozen entry is unreachable: the first post-churn lookup misses.
+    let churned_path = stats::stats_cache_path(&w.config, &jcfg);
+    assert_ne!(
+        churned_path.as_ref(),
+        Some(&pristine_path),
+        "mutated config must not address the pre-churn cache entry"
+    );
+    assert!(
+        stats::load(&w.config, &jcfg).is_none(),
+        "post-churn lookup served a cache entry that cannot exist yet"
+    );
+
+    // A rebuild through the caching entry point sees the churned table,
+    // not the tombstoned past: it differs from the frozen histogram and
+    // round-trips its own slot.
+    let rebuilt = JointHistogram::build_cached(&w, &jcfg);
+    assert_ne!(rebuilt, pristine, "churned statistics must differ from frozen ones");
+    assert_eq!(stats::load(&w.config, &jcfg).expect("rebuild must cache"), rebuilt);
+
+    // The pristine entry itself is untouched — epoch keying isolates, it
+    // does not invalidate.
+    assert_eq!(stats::load(&config, &jcfg).expect("epoch-0 entry intact"), pristine);
+
+    let _ = std::fs::remove_file(pristine_path);
+    if let Some(p) = churned_path {
+        let _ = std::fs::remove_file(p);
+    }
+    if let Some(p) = cache::cache_path(&config) {
+        let _ = std::fs::remove_file(p);
+    }
 }
